@@ -1,0 +1,76 @@
+// Ablation: how Eq. 1 (TZ) and Eq. 2 (BZ) sizing interacts with performance.
+// Sweeps the chunk height / diamond width around the formula's choice and
+// prints wall time + simulated DRAM traffic, validating that the formula
+// lands near the optimum (the "cache accurate" design point).
+
+#include "cachesim/cache_model.hpp"
+#include "cachesim/trace_kernel.hpp"
+#include "common.hpp"
+#include "kernels/const2d.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+int main() {
+  const BenchConfig cfg = bench_config();
+  print_banner(std::cout, "Ablation: TZ / BZ sizing vs. Eq. 1 / Eq. 2");
+  const int side = cfg.full ? 4096 : 2048;
+  const int T = 50;
+  const double n = static_cast<double>(side) * side;
+  RunOptions base = options_for(cfg, Scheme::Cats1);
+  const std::size_t z = resolve_cache_bytes(base);
+  const DomainShape shape{static_cast<std::int64_t>(side) * side, side, side, 2};
+  const int tz_star = compute_tz(z, shape, {1, 2.8});
+  std::cout << "domain " << side << "^2, T=" << T << ", Z=" << fmt_mib(z)
+            << ", Eq.1 TZ=" << tz_star << "\n\n";
+
+  {
+    Table t({"TZ", "seconds", "GFLOPS", "sim. DRAM GB", "note"});
+    for (double f : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const int tz = std::max(1, static_cast<int>(tz_star * f));
+      RunOptions opt = base;
+      opt.tz_override = tz;
+      auto make = [&] {
+        ConstStar2D<1> k(side, side, default_star2d_weights<1>());
+        k.init([](int x, int y) { return 0.01 * x - 0.02 * y; });
+        return k;
+      };
+      const double secs = time_scheme(make, T, opt, cfg.reps);
+      // Simulated traffic of the same run (single-threaded trace replay).
+      CacheModel cm(z, 16, 64);
+      TraceStar2D trace(side, side, 1, 0, &cm);
+      RunOptions topt = opt;
+      topt.threads = 1;
+      run(trace, T, topt);
+      t.add_row({std::to_string(tz), fmt_fixed(secs, 3),
+                 fmt_fixed(gflops(n, T, 9.0, secs), 2),
+                 fmt_fixed(static_cast<double>(cm.miss_bytes()) / 1e9, 3),
+                 f == 1.0 ? "<- Eq. 1" : ""});
+    }
+    std::cout << "CATS1 chunk height sweep:\n";
+    t.print(std::cout);
+  }
+
+  {
+    const std::int64_t bz_star = compute_bz(z, shape, {1, 2.8});
+    Table t({"BZ", "seconds", "GFLOPS", "note"});
+    for (double f : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const auto bz = std::max<std::int64_t>(2, static_cast<std::int64_t>(bz_star * f));
+      RunOptions opt = options_for(cfg, Scheme::Cats2);
+      opt.bz_override = static_cast<int>(bz);
+      auto make = [&] {
+        ConstStar2D<1> k(side, side, default_star2d_weights<1>());
+        k.init([](int x, int y) { return 0.01 * x - 0.02 * y; });
+        return k;
+      };
+      const double secs = time_scheme(make, T, opt, cfg.reps);
+      t.add_row({std::to_string(bz), fmt_fixed(secs, 3),
+                 fmt_fixed(gflops(n, T, 9.0, secs), 2),
+                 f == 1.0 ? "<- Eq. 2" : ""});
+    }
+    std::cout << "\nCATS2 diamond width sweep (same domain, BZ* = " << bz_star
+              << "):\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

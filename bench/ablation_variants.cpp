@@ -1,0 +1,95 @@
+// Ablation: design choices the paper argues for, measured.
+//  1. Axis-aligned vs diagonal wavefronts (Section II-B vs Wonnacott):
+//     same TZ, same traversal — only the wavefront orientation differs.
+//  2. Static (a-priori) vs dynamic diamond->thread assignment (Section I:
+//     "the thread to tile assignment is known at compile-time").
+
+#include "common.hpp"
+#include "core/variants.hpp"
+#include "kernels/const2d.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+int main() {
+  const BenchConfig cfg = bench_config();
+  print_banner(std::cout, "Ablation: wavefront orientation & tile assignment");
+
+  {
+    const int side = cfg.full ? 4096 : 2048;
+    const int T = 50;
+    const double n = static_cast<double>(side) * side;
+    RunOptions opt = options_for(cfg, Scheme::Cats1);
+    opt.threads = 1;  // isolate orientation, not parallelization
+    const std::size_t z = resolve_cache_bytes(opt);
+    const DomainShape shape{static_cast<std::int64_t>(side) * side, side, side, 2};
+    const int tz = compute_tz(z, shape, {1, 2.8});
+    opt.tz_override = tz;
+
+    auto make = [&] {
+      ConstStar2D<1> k(side, side, default_star2d_weights<1>());
+      k.init([](int x, int y) { return 0.01 * x - 0.02 * y; });
+      return k;
+    };
+    const double axis = time_scheme(make, T, opt, cfg.reps);
+    double diag = 0.0;
+    {
+      auto k = make();
+      Timer timer;
+      run_diagonal_wavefront_2d(k, T, tz);
+      diag = timer.seconds();
+    }
+    Table t({"wavefront", "seconds", "GFLOPS", "note"});
+    t.add_row({"axis-aligned {y+t}", fmt_fixed(axis, 3),
+               fmt_fixed(gflops(n, T, 9.0, axis), 2), "CATS choice"});
+    t.add_row({"diagonal {x+y+t}", fmt_fixed(diag, 3),
+               fmt_fixed(gflops(n, T, 9.0, diag), 2), "Wonnacott-style"});
+    std::cout << "wavefront orientation (1 thread, " << side << "^2, T=" << T
+              << ", TZ=" << tz << "):\n";
+    t.print(std::cout);
+    std::cout << "axis-aligned is " << fmt_fixed(diag / axis, 1)
+              << "x faster: the diagonal wavefront touches one point per row "
+                 "(no unit-stride runs,\nno vectorization) — the paper's "
+                 "stated reason for axis-aligned wavefronts.\n\n";
+  }
+
+  {
+    const int side = cfg.full ? 4096 : 2048;
+    const int T = 50;
+    const double n = static_cast<double>(side) * side;
+    RunOptions opt = options_for(cfg, Scheme::Cats2);
+    const std::size_t z = resolve_cache_bytes(opt);
+    const DomainShape shape{static_cast<std::int64_t>(side) * side, side, side, 2};
+    const std::int64_t bz = compute_bz(z, shape, {1, 2.8});
+
+    auto make = [&] {
+      ConstStar2D<1> k(side, side, default_star2d_weights<1>());
+      k.init([](int x, int y) { return 0.01 * x - 0.02 * y; });
+      return k;
+    };
+    Table t({"assignment", "threads", "seconds", "GFLOPS"});
+    for (int threads : {1, 4}) {
+      RunOptions o = opt;
+      o.threads = threads;
+      const double st = time_scheme(make, T, o, cfg.reps);
+      double dy = 0.0;
+      {
+        auto k = make();
+        Timer timer;
+        run_cats2_dynamic(k, T, o, bz);
+        dy = timer.seconds();
+      }
+      t.add_row({"static round-robin", std::to_string(threads),
+                 fmt_fixed(st, 3), fmt_fixed(gflops(n, T, 9.0, st), 2)});
+      t.add_row({"dynamic (claim cursor)", std::to_string(threads),
+                 fmt_fixed(dy, 3), fmt_fixed(gflops(n, T, 9.0, dy), 2)});
+    }
+    std::cout << "diamond-to-thread assignment (CATS2, " << side << "^2, T="
+              << T << ", BZ=" << bz << "):\n";
+    t.print(std::cout);
+    std::cout << "equal-size tiles make static assignment sufficient "
+                 "(Section I: dynamic load-balancing\nis not necessary); the "
+                 "dynamic variant buys nothing but costs an atomic per tile.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Optimizer-family comparison (single-threaded, locality only):
+//   naive sweep | multi-dim time tiling (PluTo-like) | cache-oblivious
+//   trapezoids (Frigo-Strassen) | CATS.
+// The paper's Section I/II positions CATS against exactly these families and
+// notes it is "surprising that the much simpler CATS can compete against the
+// usual strategies of multi-dimensional tiling and multi-level tiling" —
+// this bench makes that comparison on one machine with one kernel.
+
+#include "baseline/cache_oblivious.hpp"
+#include "common.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const3d.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+int main() {
+  const BenchConfig cfg = bench_config();
+  print_banner(std::cout, "Optimizer families: naive / tiled / oblivious / CATS");
+  RunOptions serial = options_for(cfg, Scheme::Naive);
+  serial.threads = 1;
+
+  {
+    const int side = cfg.full ? 8192 : 4096;
+    const int T = 50;
+    const double n = static_cast<double>(side) * side;
+    auto make = [&] {
+      ConstStar2D<1> k(side, side, default_star2d_weights<1>());
+      k.init([](int x, int y) { return 0.01 * x - 0.005 * y; });
+      return k;
+    };
+    Table t({"scheme (2D)", "seconds", "GFLOPS"});
+    auto add = [&](const char* name, double secs) {
+      t.add_row({name, fmt_fixed(secs, 3), fmt_fixed(gflops(n, T, 9.0, secs), 2)});
+    };
+    serial.scheme = Scheme::Naive;
+    add("naive", time_scheme(make, T, serial, cfg.reps));
+    serial.scheme = Scheme::PlutoLike;
+    add("multi-dim tiling (PluTo-like)", time_scheme(make, T, serial, cfg.reps));
+    {
+      auto k = make();
+      Timer timer;
+      run_cache_oblivious(k, T);
+      add("cache-oblivious trapezoids", timer.seconds());
+    }
+    serial.scheme = Scheme::Auto;
+    add("CATS", time_scheme(make, T, serial, cfg.reps));
+    std::cout << "2D constant 5-point, " << side << "^2, T=" << T << ":\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    const int side = cfg.full ? 512 : 256;
+    const int T = 50;
+    const double n = static_cast<double>(side) * side * side;
+    auto make = [&] {
+      ConstStar3D<1> k(side, side, side, default_star3d_weights<1>());
+      k.init([](int x, int y, int z) { return 0.01 * (x + y - z); });
+      return k;
+    };
+    Table t({"scheme (3D)", "seconds", "GFLOPS"});
+    auto add = [&](const char* name, double secs) {
+      t.add_row({name, fmt_fixed(secs, 3), fmt_fixed(gflops(n, T, 13.0, secs), 2)});
+    };
+    serial.scheme = Scheme::Naive;
+    add("naive", time_scheme(make, T, serial, cfg.reps));
+    serial.scheme = Scheme::PlutoLike;
+    add("multi-dim tiling (PluTo-like)", time_scheme(make, T, serial, cfg.reps));
+    {
+      auto k = make();
+      Timer timer;
+      run_cache_oblivious(k, T);
+      add("cache-oblivious trapezoids", timer.seconds());
+    }
+    serial.scheme = Scheme::Auto;
+    add("CATS", time_scheme(make, T, serial, cfg.reps));
+    std::cout << "3D constant 7-point, " << side << "^3, T=" << T << ":\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+#pragma once
+// Shared helpers for the figure/table benchmark binaries.
+//
+// Environment knobs:
+//   CATS_BENCH_FULL=1      paper-scale sweeps (up to 128M elements, ~GiB data)
+//   CATS_BENCH_THREADS=N   worker threads (default: hardware concurrency)
+//   CATS_BENCH_CACHE_KB=N  cache parameter Z for CATS (default: detected L2)
+//   CATS_BENCH_REPS=N      repetitions per point, median reported (default 1)
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+#include "bench_harness/timing.hpp"
+#include "core/run.hpp"
+
+namespace cats::bench {
+
+struct BenchConfig {
+  bool full = false;
+  int threads = 1;
+  std::size_t cache_bytes = 0;  // 0 = detect
+  int reps = 1;
+};
+
+inline int env_int(const char* name, int dflt) {
+  if (const char* v = std::getenv(name)) {
+    const int x = std::atoi(v);
+    if (x > 0) return x;
+  }
+  return dflt;
+}
+
+inline BenchConfig bench_config() {
+  BenchConfig c;
+  c.full = std::getenv("CATS_BENCH_FULL") != nullptr;
+  c.threads = env_int("CATS_BENCH_THREADS",
+                      static_cast<int>(std::thread::hardware_concurrency()));
+  if (c.threads < 1) c.threads = 1;
+  c.cache_bytes = static_cast<std::size_t>(env_int("CATS_BENCH_CACHE_KB", 0)) * 1024;
+  c.reps = env_int("CATS_BENCH_REPS", 1);
+  return c;
+}
+
+inline RunOptions options_for(const BenchConfig& c, Scheme s) {
+  RunOptions opt;
+  opt.threads = c.threads;
+  opt.cache_bytes = c.cache_bytes;
+  opt.scheme = s;
+  return opt;
+}
+
+/// Median wall seconds of `reps` runs; make_kernel() -> fresh initialized
+/// kernel each rep (the run mutates it).
+template <class MakeKernel>
+double time_scheme(MakeKernel&& make_kernel, int T, const RunOptions& opt,
+                   int reps, SchemeChoice* choice_out = nullptr) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    auto k = make_kernel();
+    Timer timer;
+    const SchemeChoice c = run(k, T, opt);
+    samples.push_back(timer.seconds());
+    if (choice_out) *choice_out = c;
+  }
+  return summarize(samples).median;
+}
+
+inline double gflops(double n_points, int T, double flops_per_point,
+                     double secs) {
+  return n_points * T * flops_per_point / secs / 1e9;
+}
+
+inline double gupdates(double n_points, int T, double secs) {
+  return n_points * T / secs / 1e9;
+}
+
+/// Side lengths whose square/cube is close to `million * 1e6` elements.
+inline int side_2d(double million) {
+  return static_cast<int>(std::sqrt(million * 1e6) + 0.5);
+}
+inline int side_3d(double million) {
+  return static_cast<int>(std::cbrt(million * 1e6) + 0.5);
+}
+
+/// The paper doubles element counts between graph points.
+inline std::vector<double> size_series(double lo_millions, double hi_millions) {
+  std::vector<double> s;
+  for (double m = lo_millions; m <= hi_millions * 1.01; m *= 2.0) s.push_back(m);
+  return s;
+}
+
+}  // namespace cats::bench

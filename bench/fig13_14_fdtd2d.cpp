@@ -1,0 +1,88 @@
+// Figures 13 & 14: 2D FDTD (fused electromagnetic kernel). A vector-valued
+// problem: three doubles per space-time point shrink the wavefront, so the
+// curves are a slowed-down version of the 2D constant-stencil figures.
+// (Our fused kernel is the Jacobi-ized 17-flop variant — DESIGN.md §5;
+// GFLOPS are reported at the true 17 and updates/sec is the primary metric.)
+
+#include <tuple>
+
+#include "bench_harness/ascii_plot.hpp"
+#include "common.hpp"
+#include "kernels/fdtd2d.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+namespace {
+
+double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
+                 SchemeChoice* choice) {
+  const int side = side_2d(millions);
+  auto make = [&] {
+    Fdtd2D k(side, side);
+    k.init([side](int x, int y) {
+      // Gaussian magnetic pulse in the center; quiet E fields.
+      const double dx = (x - side / 2) * 0.05, dy = (y - side / 2) * 0.05;
+      return std::tuple{0.0, 0.0, std::exp(-(dx * dx + dy * dy))};
+    });
+    return k;
+  };
+  return time_scheme(make, T, options_for(cfg, s), cfg.reps, choice);
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = bench_config();
+  print_banner(std::cout, "Fig. 13/14: 2D FDTD (fused kernel)");
+  std::cout << "threads=" << cfg.threads
+            << (cfg.full ? " (paper-scale sweep)" : " (reduced sweep; CATS_BENCH_FULL=1 for paper scale)")
+            << "\n\n";
+
+  const auto sizes = cfg.full ? size_series(0.5, 64) : size_series(1, 16);
+  const double flops_pp = 17.0;
+
+  for (int T : {100, 10}) {
+    Table table({"Melems", "side", "naive[s]", "pluto[s]", "cats[s]",
+                 "naiveGU", "plutoGU", "catsGU", "catsGF", "cats-scheme"});
+    double last_naive = 0, last_pluto = 0, last_cats = 0, last_n = 0;
+    std::vector<std::pair<double, double>> pn, pp, pc;
+    for (double m : sizes) {
+      const int side = side_2d(m);
+      const double n = static_cast<double>(side) * side;
+      SchemeChoice choice{};
+      const double tn = run_point(m, T, Scheme::Naive, cfg, nullptr);
+      const double tp = run_point(m, T, Scheme::PlutoLike, cfg, nullptr);
+      const double tc = run_point(m, T, Scheme::Auto, cfg, &choice);
+      table.add_row({fmt_fixed(n / 1e6, 1), std::to_string(side),
+                     fmt_fixed(tn, 3), fmt_fixed(tp, 3), fmt_fixed(tc, 3),
+                     fmt_fixed(gupdates(n, T, tn), 3),
+                     fmt_fixed(gupdates(n, T, tp), 3),
+                     fmt_fixed(gupdates(n, T, tc), 3),
+                     fmt_fixed(gflops(n, T, flops_pp, tc), 2),
+                     std::string(scheme_name(choice.scheme)) +
+                         (choice.scheme == Scheme::Cats1
+                              ? "(TZ=" + std::to_string(choice.tz) + ")"
+                              : "(BZ=" + std::to_string(choice.bz) + ")")});
+      pn.emplace_back(n / 1e6, tn);
+      pp.emplace_back(n / 1e6, tp);
+      pc.emplace_back(n / 1e6, tc);
+      last_naive = tn; last_pluto = tp; last_cats = tc; last_n = n;
+    }
+    std::cout << "T = " << T << ":\n";
+    table.print(std::cout);
+    std::cout << "execution time vs. elements (log-log, as in the paper's figure):\n";
+    SeriesPlot plot;
+    plot.add_series("naive", 'N', pn);
+    plot.add_series("pluto-like", 'P', pp);
+    plot.add_series("CATS", 'C', pc);
+    plot.render(std::cout);
+    std::cout << "largest size: CATS speedup vs naive "
+              << fmt_fixed(last_naive / last_cats, 2) << "x, vs pluto-like "
+              << fmt_fixed(last_pluto / last_cats, 2) << "x\n\n";
+    (void)last_n;
+  }
+  std::cout << "paper (Fig. 14, Xeon X5482, 64M, T=100): CATS 5.3x naive, 3.2x PluTo\n";
+  std::cout << "paper (Fig. 13, Opteron 2218): CATS 1.7x naive, 1.4x PluTo\n";
+  return 0;
+}

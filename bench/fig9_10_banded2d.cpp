@@ -1,0 +1,86 @@
+// Figures 9 & 10: double-precision 5-band matrix on 2D domains (variable
+// stencil). The NS = 5 coefficient streams must flow through the cache with
+// the wavefront (CS -> CS + NS in Eq. 1/2) and through the memory bus every
+// chunk, so the system bandwidth matters again.
+
+#include "bench_harness/ascii_plot.hpp"
+#include "common.hpp"
+#include "kernels/banded2d.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+namespace {
+
+double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
+                 SchemeChoice* choice) {
+  const int side = side_2d(millions);
+  auto make = [&] {
+    Banded2D<1> k(side, side);
+    k.init([](int x, int y) { return 0.01 * x + 0.02 * y; }, 1.0);
+    k.init_bands([](int b, int x, int y) {
+      return (b == 0 ? 0.5 : 0.125) * (1.0 + 1e-3 * ((x ^ y) & 7));
+    });
+    return k;
+  };
+  return time_scheme(make, T, options_for(cfg, s), cfg.reps, choice);
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = bench_config();
+  print_banner(std::cout, "Fig. 9/10: 5-band matrix (variable stencil), 2D");
+  std::cout << "threads=" << cfg.threads
+            << (cfg.full ? " (paper-scale sweep)" : " (reduced sweep; CATS_BENCH_FULL=1 for paper scale)")
+            << "\n\n";
+
+  // The paper sweeps banded tests to 32M elements.
+  const auto sizes = cfg.full ? size_series(0.5, 32) : size_series(1, 16);
+  const double flops_pp = 9.0;
+
+  for (int T : {100, 10}) {
+    Table table({"Melems", "side", "naive[s]", "pluto[s]", "cats[s]",
+                 "naiveGF", "plutoGF", "catsGF", "cats-scheme"});
+    double last_naive = 0, last_pluto = 0, last_cats = 0, last_n = 0;
+    std::vector<std::pair<double, double>> pn, pp, pc;
+    for (double m : sizes) {
+      const int side = side_2d(m);
+      const double n = static_cast<double>(side) * side;
+      SchemeChoice choice{};
+      const double tn = run_point(m, T, Scheme::Naive, cfg, nullptr);
+      const double tp = run_point(m, T, Scheme::PlutoLike, cfg, nullptr);
+      const double tc = run_point(m, T, Scheme::Auto, cfg, &choice);
+      table.add_row({fmt_fixed(n / 1e6, 1), std::to_string(side),
+                     fmt_fixed(tn, 3), fmt_fixed(tp, 3), fmt_fixed(tc, 3),
+                     fmt_fixed(gflops(n, T, flops_pp, tn), 2),
+                     fmt_fixed(gflops(n, T, flops_pp, tp), 2),
+                     fmt_fixed(gflops(n, T, flops_pp, tc), 2),
+                     std::string(scheme_name(choice.scheme)) +
+                         (choice.scheme == Scheme::Cats1
+                              ? "(TZ=" + std::to_string(choice.tz) + ")"
+                              : "(BZ=" + std::to_string(choice.bz) + ")")});
+      pn.emplace_back(n / 1e6, tn);
+      pp.emplace_back(n / 1e6, tp);
+      pc.emplace_back(n / 1e6, tc);
+      last_naive = tn; last_pluto = tp; last_cats = tc; last_n = n;
+    }
+    std::cout << "T = " << T << ":\n";
+    table.print(std::cout);
+    std::cout << "execution time vs. elements (log-log, as in the paper's figure):\n";
+    SeriesPlot plot;
+    plot.add_series("naive", 'N', pn);
+    plot.add_series("pluto-like", 'P', pp);
+    plot.add_series("CATS", 'C', pc);
+    plot.render(std::cout);
+    std::cout << "largest size: CATS speedup vs naive "
+              << fmt_fixed(last_naive / last_cats, 2) << "x, vs pluto-like "
+              << fmt_fixed(last_pluto / last_cats, 2) << "x  ("
+              << fmt_fixed(gflops(last_n, T, flops_pp, last_cats), 2)
+              << " GFLOPS)\n\n";
+  }
+  std::cout << "paper (Fig. 10 caption, Xeon X5482, 32M, T=100): "
+               "naive 0.6 GF, PluTo 3.1 GF, CATS 4.9 GF (20% of stencil peak)\n";
+  std::cout << "paper (Fig. 9 caption, Opteron 2218): naive 1.1, PluTo 1.2, CATS 2.8 GF\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks: per-row kernel throughput with cache-
+// resident data (the in-cache ceiling each scheme tries to approach), plus
+// the cost of the geometry/synchronization machinery itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/geometry.hpp"
+#include "core/run.hpp"
+#include "kernels/banded2d.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const3d.hpp"
+#include "kernels/fdtd2d.hpp"
+
+using namespace cats;
+
+namespace {
+
+void BM_Const2DRow(benchmark::State& state) {
+  const int W = static_cast<int>(state.range(0));
+  ConstStar2D<1> k(W, 8, default_star2d_weights<1>());
+  k.init([](int x, int y) { return 0.1 * x + 0.2 * y; });
+  int t = 1;
+  for (auto _ : state) {
+    for (int y = 0; y < 8; ++y) k.process_row(t, y, 0, W);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * W);
+  state.counters["GF"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 8 * W * 9.0,
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_Const2DRow)->Arg(512)->Arg(4096);
+
+void BM_Const2DRowScalar(benchmark::State& state) {
+  const int W = static_cast<int>(state.range(0));
+  ConstStar2D<1> k(W, 8, default_star2d_weights<1>());
+  k.init([](int x, int y) { return 0.1 * x + 0.2 * y; });
+  int t = 1;
+  for (auto _ : state) {
+    for (int y = 0; y < 8; ++y) k.process_row_scalar(t, y, 0, W);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * W);
+}
+BENCHMARK(BM_Const2DRowScalar)->Arg(512)->Arg(4096);
+
+void BM_Const3DRow(benchmark::State& state) {
+  const int W = static_cast<int>(state.range(0));
+  ConstStar3D<1> k(W, 4, 4, default_star3d_weights<1>());
+  k.init([](int x, int y, int z) { return 0.1 * x + 0.2 * y + 0.3 * z; });
+  int t = 1;
+  for (auto _ : state) {
+    for (int z = 0; z < 4; ++z)
+      for (int y = 0; y < 4; ++y) k.process_row(t, y, z, 0, W);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * W);
+}
+BENCHMARK(BM_Const3DRow)->Arg(512);
+
+void BM_Banded2DRow(benchmark::State& state) {
+  const int W = static_cast<int>(state.range(0));
+  Banded2D<1> k(W, 8);
+  k.init([](int x, int y) { return 0.1 * x + 0.2 * y; });
+  k.init_bands([](int b, int, int) { return b == 0 ? 0.5 : 0.125; });
+  int t = 1;
+  for (auto _ : state) {
+    for (int y = 0; y < 8; ++y) k.process_row(t, y, 0, W);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * W);
+}
+BENCHMARK(BM_Banded2DRow)->Arg(512);
+
+void BM_Fdtd2DRow(benchmark::State& state) {
+  const int W = static_cast<int>(state.range(0));
+  Fdtd2D k(W, 8);
+  k.init([](int, int) { return std::tuple{0.1, 0.2, 0.3}; });
+  int t = 1;
+  for (auto _ : state) {
+    for (int y = 0; y < 8; ++y) k.process_row(t, y, 0, W);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * W);
+}
+BENCHMARK(BM_Fdtd2DRow)->Arg(512);
+
+// Geometry arithmetic on the hot path of CATS1/CATS2.
+void BM_Cats1TauRanges(benchmark::State& state) {
+  const Cats1Chunk c{1, 32, 1 << 20, 4};
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    const Range ur = c.tile_u_range(1);
+    for (std::int64_t u = ur.lo; u < ur.lo + 1024; ++u) {
+      const Range r = c.tau_range(1, u);
+      sink += r.lo + r.hi;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Cats1TauRanges);
+
+void BM_DiamondRanges(benchmark::State& state) {
+  const DiamondTiling dt{1, 64, 1 << 16, 1, 1000};
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 10; i < 42; ++i) {
+      const Range tr = dt.t_range(i, i - 20);
+      for (std::int64_t t = tr.lo; t <= tr.hi; ++t) {
+        const Range p = dt.p_range(i, i - 20, t);
+        sink += p.lo + p.hi;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_DiamondRanges);
+
+// End-to-end tiny run: scheme orchestration overhead (pool + sync) at a size
+// where arithmetic is negligible.
+void BM_SchemeOverhead(benchmark::State& state) {
+  const auto scheme = static_cast<Scheme>(state.range(0));
+  for (auto _ : state) {
+    ConstStar2D<1> k(64, 64, default_star2d_weights<1>());
+    k.init([](int x, int y) { return 0.1 * x + 0.2 * y; });
+    RunOptions opt;
+    opt.scheme = scheme;
+    opt.threads = 2;
+    opt.cache_bytes = 1 << 20;
+    run(k, 10, opt);
+  }
+}
+BENCHMARK(BM_SchemeOverhead)
+    ->Arg(static_cast<int>(Scheme::Naive))
+    ->Arg(static_cast<int>(Scheme::Cats1))
+    ->Arg(static_cast<int>(Scheme::Cats2));
+
+}  // namespace
+
+BENCHMARK_MAIN();

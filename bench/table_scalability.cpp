@@ -1,0 +1,53 @@
+// Section III-D: CATS thread scaling on the 3D constant 7-point stencil.
+// Paper: 128M elements, T = 100, 1/2/4 threads (Opteron 1.7/3.3/6.4 GF,
+// Xeon 5/9.6/13 GF). On a single-core host this exercises the tile-to-tile
+// synchronization machinery under oversubscription; real speedup needs cores.
+
+#include "common.hpp"
+#include "core/stats.hpp"
+#include "kernels/const3d.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+int main() {
+  const BenchConfig cfg = bench_config();
+  print_banner(std::cout, "Sec. III-D: CATS scalability, 3D 7-point, T=100");
+  const double millions = cfg.full ? 128 : 16;
+  const int side = side_3d(millions);
+  const int T = 100;
+  const double n = static_cast<double>(side) * side * side;
+  std::cout << "domain " << side << "^3 (" << fmt_fixed(n / 1e6, 1)
+            << "M doubles), T=" << T << "\n\n";
+
+  Table t({"threads", "seconds", "GFLOPS", "scheme", "waits", "tiles"});
+  for (int threads : {1, 2, 4}) {
+    RunStats stats;
+    RunOptions opt;
+    opt.threads = threads;
+    opt.cache_bytes = cfg.cache_bytes;
+    opt.stats = &stats;
+    SchemeChoice choice{};
+    auto make = [&] {
+      ConstStar3D<1> k(side, side, side, default_star3d_weights<1>());
+      k.init([](int x, int y, int z) { return 0.01 * x + 0.02 * y + 0.03 * z; });
+      return k;
+    };
+    const double secs = time_scheme(make, T, opt, cfg.reps, &choice);
+    t.add_row({std::to_string(threads), fmt_fixed(secs, 3),
+               fmt_fixed(gflops(n, T, 13.0, secs), 2),
+               scheme_name(choice.scheme),
+               std::to_string(stats.wait_events.load() / cfg.reps),
+               std::to_string(stats.tiles_processed.load() / cfg.reps)});
+  }
+  t.print(std::cout);
+  std::cout << "\n'waits' counts tile-to-tile waits that actually spun — the "
+               "paper's minimalist\nsynchronization claim holds when this "
+               "stays near zero relative to 'tiles'.\n";
+  std::cout << "\npaper (Xeon X5482): 5 / 9.6 / 13 GFLOPS for 1 / 2 / 4 threads\n"
+               "paper (Opteron 2218): 1.7 / 3.3 / 6.4 GFLOPS\n"
+               "note: this host has " << std::thread::hardware_concurrency()
+            << " hardware thread(s); scaling beyond that measures sync "
+               "overhead, not speedup.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Section III-E: larger stencils — slope 1 (7-point), 2 (13-point) and
+// 3 (19-point) constant stencils in 3D, T=100. Larger slopes worsen the
+// surface-to-volume ratio of the space-time tiles; CATS must keep a clear
+// advantage nevertheless.
+
+#include "common.hpp"
+#include "kernels/const3d.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+namespace {
+
+template <int S>
+void bench_slope(const BenchConfig& cfg, int side, int T, Table& t) {
+  const double n = static_cast<double>(side) * side * side;
+  const double flops_pp = 12.0 * S + 1.0;
+  auto make = [&] {
+    ConstStar3D<S> k(side, side, side, default_star3d_weights<S>());
+    k.init([](int x, int y, int z) { return 0.01 * x + 0.02 * y + 0.03 * z; });
+    return k;
+  };
+  SchemeChoice choice{};
+  const double tn = time_scheme(make, T, options_for(cfg, Scheme::Naive), cfg.reps);
+  const double tp = time_scheme(make, T, options_for(cfg, Scheme::PlutoLike), cfg.reps);
+  const double tc = time_scheme(make, T, options_for(cfg, Scheme::Auto), cfg.reps, &choice);
+  t.add_row({"s=" + std::to_string(S) + " (" + std::to_string(6 * S + 1) + "-pt)",
+             fmt_fixed(gflops(n, T, flops_pp, tn), 2),
+             fmt_fixed(gflops(n, T, flops_pp, tp), 2),
+             fmt_fixed(gflops(n, T, flops_pp, tc), 2),
+             fmt_fixed(tn / tc, 2) + "x",
+             scheme_name(choice.scheme)});
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = bench_config();
+  print_banner(std::cout, "Sec. III-E: larger stencils, 3D, T=100");
+  const double millions = cfg.full ? 128 : 16;
+  const int side = side_3d(millions);
+  const int T = 100;
+  std::cout << "domain " << side << "^3, T=" << T << "\n\n";
+
+  Table t({"stencil", "naive GF", "pluto GF", "cats GF", "cats/naive", "scheme"});
+  bench_slope<1>(cfg, side, T, t);
+  bench_slope<2>(cfg, side, T, t);
+  bench_slope<3>(cfg, side, T, t);
+  t.print(std::cout);
+
+  std::cout << "\npaper (Xeon X5482, GF):   naive 1.4/1.9/1.7  PluTo 3.7/4.3/1.9  CATS 13.0/8.5/4.6\n"
+               "paper (Opteron 2218, GF): naive 2.4/3.1/3.1  PluTo 1.5/0.9/0.9  CATS 6.4/7.5/4.7\n";
+  return 0;
+}

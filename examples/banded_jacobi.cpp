@@ -1,0 +1,86 @@
+// Banded-matrix Jacobi iteration: solve A u = b for a variable-coefficient
+// 2D Poisson-type operator by running the Jacobi update as a 5-band variable
+// stencil under CATS — the paper's Section III-B workload in its natural
+// application. Prints the residual decline so you can watch convergence.
+//
+// Jacobi: u_{k+1} = D^{-1} (b - (A - D) u_k). With the row-wise update
+// folded into band coefficients c0..c4 plus a constant term, one sweep is
+// exactly a 5-band stencil application. We keep b = 0 and watch u -> 0 for
+// a diagonally dominant A (contraction), measuring sweep throughput.
+//
+//   $ ./example_banded_jacobi [side] [sweeps]
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_harness/timing.hpp"
+#include "core/run.hpp"
+#include "kernels/banded2d.hpp"
+
+int main(int argc, char** argv) {
+  const int side = argc > 1 ? std::atoi(argv[1]) : 1024;
+  const int sweeps = argc > 2 ? std::atoi(argv[2]) : 120;
+
+  // Variable diffusion coefficient kappa(x, y) in [1, 2]: A is the 5-point
+  // finite-volume Poisson matrix; the Jacobi iteration matrix has bands
+  // c_neighbor = kappa_face / diag, c_center = 0 (classic Jacobi) — we use
+  // weighted Jacobi (omega = 0.8) so c_center = 1 - omega.
+  auto kappa = [](double x, double y) {
+    return 1.5 + 0.5 * std::sin(0.01 * x) * std::cos(0.013 * y);
+  };
+  const double omega = 0.8;
+
+  cats::Banded2D<1> k(side, side);
+  k.init([&](int x, int y) {
+    return std::sin(0.05 * x) * std::sin(0.07 * y);  // initial guess
+  }, 0.0);
+  k.init_bands([&](int b, int x, int y) {
+    const double kw = kappa(x - 0.5, y), ke = kappa(x + 0.5, y);
+    const double ks = kappa(x, y - 0.5), kn = kappa(x, y + 0.5);
+    const double diag = kw + ke + ks + kn;
+    switch (b) {
+      case 0: return 1.0 - omega;           // center
+      case 1: return omega * kw / diag;     // x-1
+      case 2: return omega * ke / diag;     // x+1
+      case 3: return omega * ks / diag;     // y-1
+      default: return omega * kn / diag;    // y+1
+    }
+  });
+
+  auto norm = [&](int t) {
+    const auto& g = k.grid_at(t);
+    double s = 0.0;
+    for (int y = 0; y < side; ++y)
+      for (int x = 0; x < side; ++x) s += g.at(x, y) * g.at(x, y);
+    return std::sqrt(s / (static_cast<double>(side) * side));
+  };
+
+  std::cout << "weighted Jacobi on a " << side << "^2 variable-coefficient "
+            << "Poisson operator (5-band matrix)\n";
+  std::cout << "initial ||u|| = " << norm(0) << "\n";
+
+  cats::RunOptions opt;
+  opt.threads = 2;
+  cats::bench::Timer timer;
+  // Run in stages so we can report the contraction (each stage is itself a
+  // time-skewed CATS run over `stage` sweeps). Stages are even so each stage
+  // ends with the live field back in buffer parity 0, where the next run()
+  // expects its t=0 data.
+  const int stage = std::max(2, (sweeps / 4) & ~1);
+  int done = 0;
+  for (int s = 0; s < 4; ++s) {
+    const auto used = cats::run(k, stage, opt);
+    done += stage;
+    std::cout << "after " << done << " sweeps (" << cats::scheme_name(used.scheme)
+              << "): ||u|| = " << norm(stage) << "\n";
+    // NOTE: grid parity is per-run; norm uses the stage's final parity.
+  }
+  const double secs = timer.seconds();
+  const double n = static_cast<double>(side) * side;
+  std::cout << "throughput: " << n * done / secs / 1e9
+            << " giga row-updates/s over " << done << " sweeps ("
+            << secs << " s)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// In-place SOR Poisson solver under time skewing.
+//
+// Demonstrates the paper's one-copy remark: Gauss-Seidel-type kernels keep a
+// single copy of the domain, and the *serial* CATS1 wavefront still delivers
+// the temporal-locality win (many sweeps per DRAM pass) — the library
+// detects the kernel's same-timestep dependencies and refuses to split-tile
+// it (see kernels/gauss_seidel2d.hpp).
+//
+// Problem: Laplace u = 0 on a square, u = 1 on the boundary, u = 0 inside;
+// SOR drives the interior to 1. We compare wall time of the same number of
+// sweeps under Scheme::Naive (one sweep per DRAM pass) and CATS.
+//
+//   $ ./example_sor_poisson [side] [sweeps]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_harness/timing.hpp"
+#include "core/run.hpp"
+#include "kernels/gauss_seidel2d.hpp"
+
+namespace {
+
+cats::GaussSeidel2D make_problem(int side) {
+  cats::GaussSeidel2D::Weights w;  // symmetric Laplace, omega = 1.7
+  w.relax = 1.7;
+  cats::GaussSeidel2D k(side, side, w);
+  k.init([](int, int) { return 0.0; }, /*boundary=*/1.0);
+  return k;
+}
+
+// Probe near the boundary: SOR information travels only a few cells per
+// sweep, so the domain center stays untouched for a while on big grids.
+double probe_error(const cats::GaussSeidel2D& k) {
+  return 1.0 - k.grid().at(8, 8);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int side = argc > 1 ? std::atoi(argv[1]) : 2048;
+  const int sweeps = argc > 2 ? std::atoi(argv[2]) : 60;
+  const double n = static_cast<double>(side) * side;
+  std::cout << "SOR (omega=1.7) on Laplace, " << side << "^2 in-place ("
+            << n * 8 / 1e6 << " MB, ONE copy), " << sweeps << " sweeps\n";
+
+  double naive_secs = 0.0;
+  {
+    auto k = make_problem(side);
+    cats::RunOptions opt;
+    opt.scheme = cats::Scheme::Naive;
+    cats::bench::Timer timer;
+    cats::run(k, sweeps, opt);
+    naive_secs = timer.seconds();
+    std::cout << "naive sweeps:       " << naive_secs << " s, probe error "
+              << probe_error(k) << "\n";
+  }
+  {
+    auto k = make_problem(side);
+    cats::RunOptions opt;  // Auto -> serial CATS1 (forced by the kernel)
+    opt.threads = 4;       // ignored: sequential-deps kernels serialize
+    cats::bench::Timer timer;
+    const auto used = cats::run(k, sweeps, opt);
+    const double secs = timer.seconds();
+    std::cout << "CATS (" << cats::scheme_name(used.scheme)
+              << ", TZ=" << used.tz << "): " << secs
+              << " s, probe error " << probe_error(k) << "  -> "
+              << naive_secs / secs << "x speedup, same iterates\n";
+  }
+  std::cout << "note: identical error at equal sweeps — time skewing changes "
+               "the schedule, not the math.\n"
+               "(SOR's x-recurrence is latency-bound, so unlike the Jacobi "
+               "kernels there is little DRAM\ntime to recover here; the "
+               "example demonstrates in-place one-copy time skewing, not "
+               "speedup.)\n";
+  return 0;
+}

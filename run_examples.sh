@@ -1,0 +1,8 @@
+#!/bin/sh
+# Smoke-run every example with small arguments (used by CI / final checks).
+set -e
+./build/examples/example_quickstart 1024 50
+./build/examples/example_heat3d 128 30
+./build/examples/example_fdtd_waveguide 512 120
+./build/examples/example_banded_jacobi 512 80
+./build/examples/example_sor_poisson 1024 40

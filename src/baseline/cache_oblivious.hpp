@@ -1,0 +1,79 @@
+#pragma once
+// Cache-oblivious baseline: Frigo-Strassen trapezoid decomposition.
+//
+// The paper's related work contrasts CATS against three optimizer families:
+// multi-dimensional tiling (the PluTo-like baseline), wavefront schemes
+// (CATS itself), and hierarchical *cache-oblivious* recursion. This is the
+// third: the classic serial trapezoid walk applied to the traversal
+// dimension (full unit-stride rows, like CATS), recursively space-cutting
+// wide trapezoids along slope-s lines and time-cutting tall ones, so every
+// level of the memory hierarchy is exploited without knowing its size.
+//
+// Serial by design — the point of comparison is locality, and the paper's
+// CATS argument is exactly that the oblivious recursion's hierarchical
+// sub-tiling is unnecessary when one sizes a single wavefront to the last
+// private cache level.
+
+#include <cstdint>
+
+#include "core/stencil.hpp"
+
+namespace cats {
+namespace detail {
+
+/// Walk the trapezoid {(p, t): t0 <= t < t1,
+///   p0 + (t-t0)*dp0 <= p < p1 + (t-t0)*dp1} with |dp| <= s, calling
+/// Slice(t, p) in an order that respects slope-s dependencies
+/// (Frigo & Strassen's walk2).
+template <class Slice>
+void trapezoid_walk(std::int64_t t0, std::int64_t t1, std::int64_t p0,
+                    std::int64_t dp0, std::int64_t p1, std::int64_t dp1,
+                    int s, Slice&& slice) {
+  const std::int64_t dt = t1 - t0;
+  if (dt == 1) {
+    for (std::int64_t p = p0; p < p1; ++p)
+      slice(static_cast<int>(t0), static_cast<int>(p));
+    return;
+  }
+  if (dt <= 0) return;
+  if (2 * (p1 - p0) + (dp1 - dp0) * dt >= 4 * static_cast<std::int64_t>(s) * dt) {
+    // Wide: space cut along a slope -s line through the center.
+    const std::int64_t pm =
+        (2 * (p0 + p1) + (2 * s + dp0 + dp1) * dt) / 4;
+    trapezoid_walk(t0, t1, p0, dp0, pm, -s, s, slice);
+    trapezoid_walk(t0, t1, pm, -s, p1, dp1, s, slice);
+  } else {
+    // Tall: time cut.
+    const std::int64_t half = dt / 2;
+    trapezoid_walk(t0, t0 + half, p0, dp0, p1, dp1, s, slice);
+    trapezoid_walk(t0 + half, t1, p0 + dp0 * half, dp0, p1 + dp1 * half, dp1,
+                   s, slice);
+  }
+}
+
+}  // namespace detail
+
+template <RowKernel1D K>
+void run_cache_oblivious(K& k, int T) {
+  detail::trapezoid_walk(1, T + 1, 0, 0, k.width(), 0, k.slope(),
+                         [&](int t, int x) { k.process_row(t, x, x + 1); });
+}
+
+template <RowKernel2D K>
+void run_cache_oblivious(K& k, int T) {
+  const int W = k.width();
+  detail::trapezoid_walk(1, T + 1, 0, 0, k.height(), 0, k.slope(),
+                         [&](int t, int y) { k.process_row(t, y, 0, W); });
+}
+
+template <RowKernel3D K>
+void run_cache_oblivious(K& k, int T) {
+  const int W = k.width(), H = k.height();
+  detail::trapezoid_walk(1, T + 1, 0, 0, k.depth(), 0, k.slope(),
+                         [&](int t, int z) {
+                           for (int y = 0; y < H; ++y)
+                             k.process_row(t, y, z, 0, W);
+                         });
+}
+
+}  // namespace cats

@@ -1,0 +1,22 @@
+#include "baseline/pluto_params.hpp"
+
+#include <cstdlib>
+#include <cstdio>
+
+namespace cats {
+
+PlutoParams pluto_params() {
+  PlutoParams p;
+  if (const char* env = std::getenv("CATS_PLUTO_TILES")) {
+    int a = 0, b = 0, c = 0, d = 0;
+    const int n = std::sscanf(env, "%d,%d,%d,%d", &a, &b, &c, &d);
+    if (n == 3 && a > 0 && b > 0 && c > 0) {
+      p.bt2 = a; p.by2 = b; p.bx2 = c;
+    } else if (n == 4 && a > 0 && b > 0 && c > 0 && d > 0) {
+      p.bt3 = a; p.bz3 = b; p.by3 = c; p.bx3 = d;
+    }
+  }
+  return p;
+}
+
+}  // namespace cats

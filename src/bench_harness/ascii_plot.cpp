@@ -1,0 +1,61 @@
+#include "bench_harness/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace cats::bench {
+
+void SeriesPlot::add_series(std::string name, char mark,
+                            std::vector<std::pair<double, double>> points) {
+  series_.push_back({std::move(name), mark, std::move(points)});
+}
+
+void SeriesPlot::render(std::ostream& os, int width, int height) const {
+  double x_lo = std::numeric_limits<double>::max(), x_hi = 0.0;
+  double y_lo = std::numeric_limits<double>::max(), y_hi = 0.0;
+  for (const auto& s : series_)
+    for (const auto& [x, y] : s.points) {
+      if (x <= 0.0 || y <= 0.0) continue;
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  if (x_hi <= 0.0 || y_hi <= 0.0) {
+    os << "(no positive data to plot)\n";
+    return;
+  }
+  // Pad the log ranges a little so extreme points stay inside the frame.
+  const double lx0 = std::log10(x_lo) - 0.05, lx1 = std::log10(x_hi) + 0.05;
+  const double ly0 = std::log10(y_lo) - 0.1, ly1 = std::log10(y_hi) + 0.1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto put = [&](double x, double y, char c) {
+    const int col = static_cast<int>((std::log10(x) - lx0) / (lx1 - lx0) *
+                                     (width - 1) + 0.5);
+    const int row = static_cast<int>((std::log10(y) - ly0) / (ly1 - ly0) *
+                                     (height - 1) + 0.5);
+    if (col < 0 || col >= width || row < 0 || row >= height) return;
+    // Row 0 is the bottom of the plot.
+    char& cell = grid[static_cast<std::size_t>(height - 1 - row)]
+                     [static_cast<std::size_t>(col)];
+    cell = (cell == ' ' || cell == c) ? c : '*';  // '*' marks overlaps
+  };
+  for (const auto& s : series_)
+    for (const auto& [x, y] : s.points)
+      if (x > 0.0 && y > 0.0) put(x, y, s.mark);
+
+  os << std::setprecision(3);
+  os << "  y: " << y_lo << " .. " << y_hi << " (log)\n";
+  for (const auto& line : grid) os << "  |" << line << "|\n";
+  os << "  +" << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  os << "  x: " << x_lo << " .. " << x_hi << " (log)   ";
+  for (const auto& s : series_) os << s.mark << "=" << s.name << "  ";
+  os << "('*' = overlap)\n";
+}
+
+}  // namespace cats::bench

@@ -1,0 +1,31 @@
+#pragma once
+// ASCII log-log series plot — renders the paper's figures (execution time vs.
+// element count, both axes logarithmic) directly in the bench output.
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cats::bench {
+
+class SeriesPlot {
+ public:
+  /// `mark` is the single character plotted for this series.
+  void add_series(std::string name, char mark,
+                  std::vector<std::pair<double, double>> points);
+
+  /// Render a log-log grid (both axes log10) with an axis legend. Points
+  /// with non-positive coordinates are skipped.
+  void render(std::ostream& os, int width = 64, int height = 18) const;
+
+ private:
+  struct Series {
+    std::string name;
+    char mark;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace cats::bench

@@ -1,0 +1,150 @@
+#include "bench_harness/machine.hpp"
+
+#include <algorithm>
+
+#include "bench_harness/timing.hpp"
+#include "grid/aligned_buffer.hpp"
+#include "simd/vecd.hpp"
+#include "sysinfo/cache_info.hpp"
+
+namespace cats::bench {
+namespace {
+
+using simd::VecD;
+
+// Sink that the optimizer cannot see through.
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+double measure_copy_bandwidth(std::size_t working_set_bytes, double seconds_budget) {
+  // Two arrays that together occupy the working set.
+  const std::size_t n =
+      std::max<std::size_t>(working_set_bytes / (2 * sizeof(double)),
+                            static_cast<std::size_t>(4 * VecD::width));
+  AlignedBuffer<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<double>(i & 1023) * 0.5;
+
+  auto copy_pass = [&] {
+    const double* src = b.data();
+    double* dst = a.data();
+    std::size_t i = 0;
+    for (; i + 4 * VecD::width <= n; i += 4 * VecD::width) {
+      VecD::load_aligned(src + i).store_aligned(dst + i);
+      VecD::load_aligned(src + i + VecD::width).store_aligned(dst + i + VecD::width);
+      VecD::load_aligned(src + i + 2 * VecD::width).store_aligned(dst + i + 2 * VecD::width);
+      VecD::load_aligned(src + i + 3 * VecD::width).store_aligned(dst + i + 3 * VecD::width);
+    }
+    for (; i < n; ++i) dst[i] = src[i];
+  };
+
+  // Warm both arrays (and the caches, when they fit).
+  copy_pass();
+  copy_pass();
+
+  std::size_t passes = 0;
+  Timer t;
+  do {
+    copy_pass();
+    ++passes;
+  } while (t.seconds() < seconds_budget);
+  const double secs = t.seconds();
+  g_sink = a[n / 2];
+  const double bytes = static_cast<double>(passes) * 2.0 *
+                       static_cast<double>(n) * sizeof(double);
+  return bytes / secs / 1e9;
+}
+
+double measure_peak_dp(double seconds_budget) {
+  // 8 independent accumulator chains of fused multiply-adds on registers.
+  VecD acc0 = VecD::broadcast(0.001), acc1 = VecD::broadcast(0.002);
+  VecD acc2 = VecD::broadcast(0.003), acc3 = VecD::broadcast(0.004);
+  VecD acc4 = VecD::broadcast(0.005), acc5 = VecD::broadcast(0.006);
+  VecD acc6 = VecD::broadcast(0.007), acc7 = VecD::broadcast(0.008);
+  const VecD m = VecD::broadcast(1.0000001);
+  const VecD c = VecD::broadcast(1e-9);
+
+  const std::size_t inner = 4096;
+  std::size_t iters = 0;
+  Timer t;
+  do {
+    for (std::size_t i = 0; i < inner; ++i) {
+      acc0 = VecD::fma(acc0, m, c);
+      acc1 = VecD::fma(acc1, m, c);
+      acc2 = VecD::fma(acc2, m, c);
+      acc3 = VecD::fma(acc3, m, c);
+      acc4 = VecD::fma(acc4, m, c);
+      acc5 = VecD::fma(acc5, m, c);
+      acc6 = VecD::fma(acc6, m, c);
+      acc7 = VecD::fma(acc7, m, c);
+    }
+    iters += inner;
+  } while (t.seconds() < seconds_budget);
+  const double secs = t.seconds();
+  g_sink = (acc0 + acc1 + acc2 + acc3 + acc4 + acc5 + acc6 + acc7).hsum();
+  // 8 chains x width lanes x 2 flops per FMA.
+  const double flops = static_cast<double>(iters) * 8.0 * VecD::width * 2.0;
+  return flops / secs / 1e9;
+}
+
+double measure_stencil_dp(double seconds_budget) {
+  // The inner 5-point stencil computation on registers: 5 products
+  // accumulated into one value. The accumulation chain has read-after-write
+  // dependencies (which is why this lands below peak DP), but like the
+  // unrolled kernel x-loop several evaluations are in flight at once.
+  VecD v0 = VecD::broadcast(0.11), v1 = VecD::broadcast(0.22);
+  VecD v2 = VecD::broadcast(0.33), v3 = VecD::broadcast(0.44);
+  VecD v4 = VecD::broadcast(0.55), v5 = VecD::broadcast(0.66);
+  VecD v6 = VecD::broadcast(0.77), v7 = VecD::broadcast(0.88);
+  const VecD w0 = VecD::broadcast(0.5), w1 = VecD::broadcast(0.1251);
+  const VecD w2 = VecD::broadcast(0.1249), w3 = VecD::broadcast(0.1252);
+  const VecD w4 = VecD::broadcast(0.1248);
+
+  const std::size_t inner = 4096;
+  std::size_t iters = 0;
+  Timer t;
+  do {
+    for (std::size_t i = 0; i < inner; ++i) {
+      // Eight independent stencil evaluations (the kernel unrolls the x loop).
+      VecD a = w0 * v0;
+      VecD b = w0 * v1;
+      VecD c = w0 * v2;
+      VecD d = w0 * v3;
+      VecD e = w0 * v4;
+      VecD f = w0 * v5;
+      VecD g = w0 * v6;
+      VecD h = w0 * v7;
+      a = a + w1 * v1;  b = b + w1 * v2;  c = c + w1 * v3;  d = d + w1 * v4;
+      e = e + w1 * v5;  f = f + w1 * v6;  g = g + w1 * v7;  h = h + w1 * v0;
+      a = a + w2 * v2;  b = b + w2 * v3;  c = c + w2 * v4;  d = d + w2 * v5;
+      e = e + w2 * v6;  f = f + w2 * v7;  g = g + w2 * v0;  h = h + w2 * v1;
+      a = a + w3 * v3;  b = b + w3 * v4;  c = c + w3 * v5;  d = d + w3 * v6;
+      e = e + w3 * v7;  f = f + w3 * v0;  g = g + w3 * v1;  h = h + w3 * v2;
+      a = a + w4 * v4;  b = b + w4 * v5;  c = c + w4 * v6;  d = d + w4 * v7;
+      e = e + w4 * v0;  f = f + w4 * v1;  g = g + w4 * v2;  h = h + w4 * v3;
+      // Feed results back: the next iteration depends on these outputs, like
+      // the time loop feeding the next stencil application.
+      v0 = a; v1 = b; v2 = c; v3 = d; v4 = e; v5 = f; v6 = g; v7 = h;
+    }
+    iters += inner;
+  } while (t.seconds() < seconds_budget);
+  const double secs = t.seconds();
+  g_sink = (v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7).hsum();
+  // 8 evaluations x (5 mul + 4 add) x width lanes per inner step.
+  const double flops = static_cast<double>(iters) * 8.0 * 9.0 * VecD::width;
+  return flops / secs / 1e9;
+}
+
+MachineProfile profile_machine(double seconds_per_point) {
+  const CacheInfo ci = detect_cache_info();
+  MachineProfile p;
+  p.l1_bw_gbps = measure_copy_bandwidth(ci.l1d_bytes / 2, seconds_per_point);
+  p.l2_bw_gbps = measure_copy_bandwidth(ci.l2_bytes / 2, seconds_per_point);
+  const std::size_t llc = std::max(ci.l3_bytes, ci.l2_bytes);
+  p.sys_bw_gbps = measure_copy_bandwidth(llc * 8, seconds_per_point);
+  p.peak_dp_gflops = measure_peak_dp(seconds_per_point);
+  p.stencil_dp_gflops = measure_stencil_dp(seconds_per_point);
+  return p;
+}
+
+}  // namespace cats::bench

@@ -1,0 +1,69 @@
+#include "bench_harness/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "simd/detect.hpp"
+#include "simd/vecd.hpp"
+#include "sysinfo/cache_info.hpp"
+
+namespace cats::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < w.size(); ++c)
+      w[c] = std::max(w[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(w[c]))
+         << (c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < w.size(); ++c) rule += "  " + std::string(w[c], '-');
+  os << rule << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt_fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_mib(std::size_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1)
+     << static_cast<double>(bytes) / (1024.0 * 1024.0) << "MiB";
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "== " << title << " ==\n";
+  os << "cpu: " << simd::cpu_features_string()
+     << " | simd width used: " << simd::kWidth << " doubles (" << simd::kIsaName
+     << ")\n";
+  os << "caches: " << cache_info_string(detect_cache_info())
+     << " | hw threads: " << std::thread::hardware_concurrency() << "\n";
+}
+
+}  // namespace cats::bench

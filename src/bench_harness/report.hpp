@@ -1,0 +1,31 @@
+#pragma once
+// Plain-text table/series printing for the benchmark binaries. Each figure
+// bench prints the same rows/series the paper plots (size, seconds, GFLOPS
+// per scheme) plus a machine header so runs are self-describing.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cats::bench {
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_fixed(double v, int precision);
+std::string fmt_sci(double v, int precision);
+std::string fmt_mib(std::size_t bytes);
+
+/// Bench banner: title + CPU features + cache sizes + thread note.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace cats::bench

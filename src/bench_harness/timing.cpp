@@ -1,0 +1,20 @@
+#include "bench_harness/timing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cats::bench {
+
+Stats summarize(std::vector<double> samples) {
+  Stats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples[samples.size() / 2];
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  return s;
+}
+
+}  // namespace cats::bench

@@ -1,0 +1,43 @@
+#pragma once
+// Wall-clock timing and basic statistics for the benchmark harness.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace cats::bench {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+struct Stats {
+  double min = 0.0, median = 0.0, mean = 0.0, max = 0.0;
+};
+
+/// Order statistics of a sample set (copies and sorts internally).
+Stats summarize(std::vector<double> samples);
+
+/// Run `fn` `reps` times, returning per-run seconds.
+template <class F>
+std::vector<double> time_repeated(int reps, F&& fn) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    out.push_back(t.seconds());
+  }
+  return out;
+}
+
+}  // namespace cats::bench

@@ -1,0 +1,119 @@
+#pragma once
+// CATS1 (Alg. 2): one skewing dimension.
+//
+// Time is cut into chunks of TZ timesteps (Eq. 1). Within a chunk, the
+// (traversal-dimension, time) plane is covered by parallelogram tiles — one
+// interval of the tile coordinate v = p - s*tau per thread. Each thread
+// sweeps its tile with ascending wavefronts u = p + s*tau; inside a wavefront
+// tau ascends. All cross-tile dependencies (reads and the WAR hazard of the
+// double-buffered field) point to the right neighbor in v at wavefronts <= u,
+// so a single acquire-wait "right neighbor completed wavefront u" resolves
+// them (split-tiling). Threads synchronize globally only between chunks.
+//
+// In 2D the wavefront holds TZ full x-rows; in 3D it holds TZ full (x,y)
+// slices — which is why CATS1 in 3D falls back for large domains (Section
+// II-B) and the selector then picks CATS2.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "core/stencil.hpp"
+#include "threads/barrier.hpp"
+#include "threads/progress.hpp"
+#include "threads/thread_pool.hpp"
+
+namespace cats {
+namespace detail {
+
+/// Shared CATS1 driver: Slice(t, p) computes the full wavefront slice at
+/// traversal position p, timestep t (a row in 2D, a plane in 3D).
+template <class Slice>
+void cats1_sweep(std::int64_t extent, int slope, int T, int tz_param,
+                 int threads, RunStats* stats, Slice&& slice) {
+  const int tz_cap = std::max(1, std::min(tz_param, T));
+  // Tiles narrower than 2s would let dependencies skip over a tile; clamp.
+  const std::int64_t span = extent + 2ll * slope * (tz_cap - 1);
+  const int P = static_cast<int>(std::clamp<std::int64_t>(
+      std::min<std::int64_t>(threads, span / std::max(1, 2 * slope)), 1,
+      threads));
+
+  ThreadPool pool(P);
+  SpinBarrier bar(P);
+  std::vector<ProgressCell> progress(static_cast<std::size_t>(P));
+
+  pool.run([&](int tid) {
+    std::int64_t local_spins = 0, local_events = 0, local_tiles = 0,
+                 local_barriers = 0;
+    for (int t0 = 1; t0 <= T; t0 += tz_cap) {
+      const int tz = std::min(tz_cap, T - t0 + 1);
+      const Cats1Chunk chunk{slope, tz, extent, P};
+      const Range ur = chunk.tile_u_range(tid);
+      const Range ur_right =
+          (tid + 1 < P) ? chunk.tile_u_range(tid + 1) : Range{};
+
+      for (std::int64_t u = ur.lo; u <= ur.hi; ++u) {
+        if (tid + 1 < P && u >= ur_right.lo) {
+          const std::int64_t spins =
+              progress[static_cast<std::size_t>(tid + 1)].wait_ge(
+                  std::min(u, ur_right.hi));
+          if (spins > 0) {
+            ++local_events;
+            local_spins += spins;
+          }
+        }
+        const Range taus = chunk.tau_range(tid, u);
+        for (std::int64_t tau = taus.lo; tau <= taus.hi; ++tau) {
+          slice(t0 + static_cast<int>(tau),
+                static_cast<int>(u - slope * tau));
+        }
+        progress[static_cast<std::size_t>(tid)].publish(u);
+      }
+
+      // Chunk boundary: everyone finishes, progress counters reset, then the
+      // next chunk starts (two barriers so no thread can observe a stale
+      // counter from the previous chunk).
+      bar.arrive_and_wait();
+      progress[static_cast<std::size_t>(tid)].reset();
+      bar.arrive_and_wait();
+      local_barriers += 2;
+      ++local_tiles;
+    }
+    if (stats) {
+      stats->wait_events.fetch_add(local_events, std::memory_order_relaxed);
+      stats->wait_spins.fetch_add(local_spins, std::memory_order_relaxed);
+      stats->tiles_processed.fetch_add(local_tiles, std::memory_order_relaxed);
+      stats->barriers.fetch_add(local_barriers, std::memory_order_relaxed);
+    }
+  });
+}
+
+}  // namespace detail
+
+template <RowKernel1D K>
+void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
+  detail::cats1_sweep(k.width(), k.slope(), T, tz, opt.threads, opt.stats,
+                      [&](int t, int x) { k.process_row(t, x, x + 1); });
+}
+
+template <RowKernel2D K>
+void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
+  const int W = k.width();
+  detail::cats1_sweep(k.height(), k.slope(), T, tz, opt.threads, opt.stats,
+                      [&](int t, int y) { k.process_row(t, y, 0, W); });
+}
+
+template <RowKernel3D K>
+void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
+  const int W = k.width(), H = k.height();
+  detail::cats1_sweep(k.depth(), k.slope(), T, tz, opt.threads, opt.stats,
+                      [&](int t, int z) {
+                        for (int y = 0; y < H; ++y)
+                          k.process_row(t, y, z, 0, W);
+                      });
+}
+
+}  // namespace cats

@@ -1,0 +1,144 @@
+#pragma once
+// CATS2 (Alg. 3): two skewing dimensions — one tiled with diamonds, one
+// traversed by wavefronts.
+//
+// The (tiling-dimension, time) plane is partitioned into diamonds of width BZ
+// (Eq. 2). Each diamond, extended along the traversal dimension, forms a
+// diamond tube; a skewed wavefront (u = p_traversal + s*t) sweeps through the
+// tube, keeping only CS wavefronts in cache although the tube is far larger
+// than the cache. Diamonds arranged side by side are independent; a diamond
+// starts once the two diamonds below it are done (per-diamond flags, no
+// global synchronization — Fig. 3).
+//
+// Thread -> diamond assignment is a-priori round-robin within each diamond
+// row, matching the paper's static diamondSet(tid).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "core/stencil.hpp"
+#include "threads/progress.hpp"
+#include "threads/thread_pool.hpp"
+
+namespace cats {
+namespace detail {
+
+/// Shared CATS2 driver. TubeSweep(dt, i, j) processes one diamond tube.
+template <class TubeSweep>
+void cats2_sweep(const DiamondTiling& dt, int threads, RunStats* stats,
+                 TubeSweep&& tube) {
+  const Range ir = dt.i_range();
+  const Range jr = dt.j_range();
+  const Range rr = dt.r_range();
+  const std::int64_t ni = ir.hi - ir.lo + 1;
+  const std::int64_t nj = jr.hi - jr.lo + 1;
+
+  std::vector<DoneFlag> flags(static_cast<std::size_t>(ni * nj));
+  auto flag = [&](std::int64_t i, std::int64_t j) -> DoneFlag& {
+    return flags[static_cast<std::size_t>((i - ir.lo) * nj + (j - jr.lo))];
+  };
+  auto in_range = [&](std::int64_t i, std::int64_t j) {
+    return i >= ir.lo && i <= ir.hi && j >= jr.lo && j <= jr.hi;
+  };
+
+  const int P = std::max(1, threads);
+  ThreadPool pool(P);
+  pool.run([&](int tid) {
+    std::int64_t local_spins = 0, local_events = 0, local_tiles = 0;
+    for (std::int64_t r = rr.lo; r <= rr.hi; ++r) {
+      // Diamonds in row r: (i, j = i - r).
+      const std::int64_t ilo = std::max(ir.lo, jr.lo + r);
+      const std::int64_t ihi = std::min(ir.hi, jr.hi + r);
+      for (std::int64_t i = ilo; i <= ihi; ++i) {
+        if ((i - ilo) % P != tid) continue;
+        const std::int64_t j = i - r;
+        if (dt.nonempty(i, j)) {
+          // Wait on the two diamonds below (Fig. 3); absent or empty
+          // neighbors carry no dependency.
+          std::int64_t spins = 0;
+          if (in_range(i - 1, j) && dt.nonempty(i - 1, j))
+            spins += flag(i - 1, j).wait();
+          if (in_range(i, j + 1) && dt.nonempty(i, j + 1))
+            spins += flag(i, j + 1).wait();
+          if (spins > 0) {
+            ++local_events;
+            local_spins += spins;
+          }
+          tube(dt, i, j);
+          ++local_tiles;
+        }
+        flag(i, j).set();
+      }
+    }
+    if (stats) {
+      stats->wait_events.fetch_add(local_events, std::memory_order_relaxed);
+      stats->wait_spins.fetch_add(local_spins, std::memory_order_relaxed);
+      stats->tiles_processed.fetch_add(local_tiles, std::memory_order_relaxed);
+    }
+  });
+}
+
+}  // namespace detail
+
+/// CATS2 in 2D: tiling dimension x, traversal dimension y. The x loop inside
+/// the tube has per-level variable bounds (handled by the kernel's unaligned
+/// SIMD path).
+template <RowKernel2D K>
+void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
+  const int H = k.height();
+  const int s = k.slope();
+  const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.width(), 1, T};
+
+  detail::cats2_sweep(dt, opt.threads, opt.stats,
+      [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
+        const Range tr = d.t_range(i, j);
+        if (tr.empty()) return;
+        // Wavefront w = y + s*t sweeps the tube along y.
+        const std::int64_t w_lo = s * tr.lo;
+        const std::int64_t w_hi = H - 1 + s * tr.hi;
+        for (std::int64_t w = w_lo; w <= w_hi; ++w) {
+          const Range ts = intersect(
+              tr, {ceil_div(w - H + 1, s), floor_div(w, s)});
+          for (std::int64_t t = ts.lo; t <= ts.hi; ++t) {
+            const Range px = d.p_range(i, j, t);
+            if (px.empty()) continue;
+            k.process_row(static_cast<int>(t), static_cast<int>(w - s * t),
+                          static_cast<int>(px.lo), static_cast<int>(px.hi + 1));
+          }
+        }
+      });
+}
+
+/// CATS2 in 3D: tiling dimension y, traversal dimension z, full x rows
+/// (fixed unit-stride loop bounds — the paper's CATS(d-1) default).
+template <RowKernel3D K>
+void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
+  const int W = k.width(), D = k.depth();
+  const int s = k.slope();
+  const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.height(), 1, T};
+
+  detail::cats2_sweep(dt, opt.threads, opt.stats,
+      [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
+        const Range tr = d.t_range(i, j);
+        if (tr.empty()) return;
+        const std::int64_t w_lo = s * tr.lo;
+        const std::int64_t w_hi = D - 1 + s * tr.hi;
+        for (std::int64_t w = w_lo; w <= w_hi; ++w) {
+          const Range ts = intersect(
+              tr, {ceil_div(w - D + 1, s), floor_div(w, s)});
+          for (std::int64_t t = ts.lo; t <= ts.hi; ++t) {
+            const Range py = d.p_range(i, j, t);
+            const int z = static_cast<int>(w - s * t);
+            for (std::int64_t y = py.lo; y <= py.hi; ++y) {
+              k.process_row(static_cast<int>(t), static_cast<int>(y), z, 0, W);
+            }
+          }
+        }
+      });
+}
+
+}  // namespace cats

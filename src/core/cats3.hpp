@@ -1,0 +1,72 @@
+#pragma once
+// CATS3 (Section II-D, "Multiple Skewing"): one traversal dimension plus TWO
+// tiled dimensions — for domains so large (or caches so small) that even a
+// CATS2 diamond tube's wavefront cannot fit in cache.
+//
+// In 3D: the traversal dimension is z; y is tiled with diamonds (these are
+// the parallelized tiles, as in CATS2); x is additionally tiled with
+// *parallelograms* in the (x, t) plane — the paper: "the tiled and
+// parallelized dimensions use the diamond shape, whereas the tiled-only
+// dimensions may also use space dependent tiles like the parallelograms".
+//
+// Inside one diamond tube the x-parallelograms are processed sequentially
+// from RIGHT to LEFT: slope-s dependencies in the (x, t) skew satisfy
+// dv >= 0 (reads come from the same or the right parallelogram at earlier
+// wavefronts), so finishing a whole right tile before starting its left
+// neighbor discharges both the reads and the double-buffer WAR hazard with
+// no extra synchronization. Cross-diamond dependencies are the usual two
+// done-flags. The wavefront that must stay cached is then
+// (diamond area) x BX instead of (diamond area) x W.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/cats2.hpp"
+#include "core/geometry.hpp"
+#include "core/options.hpp"
+#include "core/stencil.hpp"
+
+namespace cats {
+
+template <RowKernel3D K>
+void run_cats3(K& k, int T, const RunOptions& opt, std::int64_t bz,
+               std::int64_t bx) {
+  const int W = k.width(), D = k.depth();
+  const int s = k.slope();
+  const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.height(), 1, T};
+  const std::int64_t bxw = std::max<std::int64_t>(bx, 2ll * s);
+
+  detail::cats2_sweep(dt, opt.threads, opt.stats,
+      [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
+        const Range tr = d.t_range(i, j);
+        if (tr.empty()) return;
+        // x-parallelograms relevant to this diamond's time range:
+        // vx = x - s*t with x in [0, W), t in [tr.lo, tr.hi].
+        const std::int64_t q_lo = floor_div(0 - s * tr.hi, bxw);
+        const std::int64_t q_hi = floor_div(W - 1 - s * tr.lo, bxw);
+        const std::int64_t w_lo = s * tr.lo;
+        const std::int64_t w_hi = D - 1 + s * tr.hi;
+        // Right-to-left over x tiles; full wavefront sweep per tile.
+        for (std::int64_t q = q_hi; q >= q_lo; --q) {
+          for (std::int64_t w = w_lo; w <= w_hi; ++w) {
+            const Range ts = intersect(
+                tr, {ceil_div(w - D + 1, s), floor_div(w, s)});
+            for (std::int64_t t = ts.lo; t <= ts.hi; ++t) {
+              const std::int64_t st = static_cast<std::int64_t>(s) * t;
+              const std::int64_t x0 = std::max<std::int64_t>(q * bxw + st, 0);
+              const std::int64_t x1 = std::min<std::int64_t>((q + 1) * bxw + st,
+                                                             W);
+              if (x0 >= x1) continue;
+              const Range py = d.p_range(i, j, t);
+              const int z = static_cast<int>(w - st);
+              for (std::int64_t y = py.lo; y <= py.hi; ++y) {
+                k.process_row(static_cast<int>(t), static_cast<int>(y), z,
+                              static_cast<int>(x0), static_cast<int>(x1));
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace cats

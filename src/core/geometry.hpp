@@ -1,0 +1,163 @@
+#pragma once
+// Space-time geometry for skewed traversals.
+//
+// Conventions (one skewed spatial axis p, timestep t, slope s):
+//   u = p + s*t   wavefront index   (dependencies have du <= 0)
+//   v = p - s*t   tile index        (dependencies have dv >= 0)
+// so u = v + 2*s*tau inside a time chunk with local time tau.
+//
+// * CATS1 covers the (p, t) plane of one time chunk with parallelogram tiles
+//   that are intervals in v; each tile is swept by ascending u; within a
+//   wavefront tau ascends. Cross-tile reads go to the *right* neighbor in v
+//   at wavefronts <= u, so "right neighbor finished wavefront u" is the whole
+//   synchronization condition (split-tiling).
+// * CATS2 partitions the (p, t) plane into diamonds: in skewed coordinates
+//   (a, b) = (p + s*t, p - s*t) the diamonds are axis-aligned squares of side
+//   BZ, which makes point->diamond assignment and per-level bounds O(1).
+//   Diamond (i, j) depends exactly on (i-1, j) and (i, j+1) (the two diamonds
+//   below it in the t direction).
+
+#include <cassert>
+#include <cstdint>
+
+namespace cats {
+
+/// Floor division for possibly-negative numerators (b > 0).
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t q = a / b;
+  if ((a % b) != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return -floor_div(-a, b);
+}
+
+struct Range {
+  std::int64_t lo = 0;  // inclusive
+  std::int64_t hi = -1; // inclusive; empty when hi < lo
+  bool empty() const noexcept { return hi < lo; }
+};
+
+constexpr Range intersect(Range r1, Range r2) noexcept {
+  return {r1.lo > r2.lo ? r1.lo : r2.lo, r1.hi < r2.hi ? r1.hi : r2.hi};
+}
+
+// ---------------------------------------------------------------------------
+// CATS1 parallelogram tiles
+// ---------------------------------------------------------------------------
+
+/// One CATS1 time chunk over a traversal extent L with `tiles` parallelogram
+/// tiles. Local time tau in [0, tz) maps to global timestep t0 + tau.
+struct Cats1Chunk {
+  int s = 1;       ///< stencil slope
+  int tz = 1;      ///< timesteps in this chunk
+  std::int64_t extent = 0;  ///< traversal-dimension size L
+  int tiles = 1;
+
+  /// v ranges over [v_min(), extent): every (p in [0,L), tau in [0,tz)).
+  std::int64_t v_min() const noexcept {
+    return -static_cast<std::int64_t>(s) * (tz - 1);
+  }
+
+  /// Tile i owns v in [tile_v_lo(i), tile_v_lo(i+1)). Tiles are equal-sized
+  /// (the paper synchronizes cheaply because tiles are of equal size).
+  std::int64_t tile_v_lo(int i) const noexcept {
+    const std::int64_t lo = v_min();
+    const std::int64_t span = extent - lo;
+    return lo + span * i / tiles;
+  }
+
+  /// Wavefront range swept by tile i (ascending u).
+  Range tile_u_range(int i) const noexcept {
+    const std::int64_t vb = tile_v_lo(i);
+    const std::int64_t ve = tile_v_lo(i + 1);
+    if (ve <= vb) return {0, -1};
+    // u = v + 2*s*tau, also p = u - s*tau in [0, L).
+    Range r{vb > 0 ? vb : 0,
+            (ve - 1) + 2ll * s * (tz - 1)};
+    const std::int64_t u_domain_hi = extent - 1 + static_cast<std::int64_t>(s) * (tz - 1);
+    if (r.hi > u_domain_hi) r.hi = u_domain_hi;
+    return r;
+  }
+
+  /// For wavefront u within tile i: inclusive range of tau such that
+  /// v = u - 2*s*tau lies in the tile and p = u - s*tau lies in [0, extent).
+  Range tau_range(int i, std::int64_t u) const noexcept {
+    const std::int64_t vb = tile_v_lo(i);
+    const std::int64_t ve = tile_v_lo(i + 1);
+    const std::int64_t s2 = 2ll * s;
+    // vb <= u - 2*s*tau < ve
+    Range r{ceil_div(u - ve + 1, s2), floor_div(u - vb, s2)};
+    // 0 <= u - s*tau < extent
+    r = intersect(r, {ceil_div(u - extent + 1, s), floor_div(u, s)});
+    return intersect(r, {0, tz - 1});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CATS2 diamond tiling
+// ---------------------------------------------------------------------------
+
+/// Diamond partition of the (p, t) plane for p in [0, P), t in [1, T].
+/// Diamond (i, j): a = p + s*t in [i*B, (i+1)*B), b = p - s*t in
+/// [j*B, (j+1)*B). Width in p is B, height in t is B/s; area B^2/(2s) cells.
+struct DiamondTiling {
+  int s = 1;
+  std::int64_t bz = 2;       ///< diamond width B (>= 2s recommended)
+  std::int64_t extent = 0;   ///< tiling-dimension size P
+  int t_begin = 1, t_end = 1;  ///< timesteps [t_begin, t_end] inclusive
+
+  std::int64_t i_of(std::int64_t p, std::int64_t t) const noexcept {
+    return floor_div(p + static_cast<std::int64_t>(s) * t, bz);
+  }
+  std::int64_t j_of(std::int64_t p, std::int64_t t) const noexcept {
+    return floor_div(p - static_cast<std::int64_t>(s) * t, bz);
+  }
+
+  /// Diamond row index: constant-ish t band. r = i - j.
+  static std::int64_t row_of(std::int64_t i, std::int64_t j) noexcept {
+    return i - j;
+  }
+
+  Range i_range() const noexcept {
+    // a = p + s*t over the whole domain/time window.
+    return {floor_div(0 + static_cast<std::int64_t>(s) * t_begin, bz),
+            floor_div(extent - 1 + static_cast<std::int64_t>(s) * t_end, bz)};
+  }
+  Range j_range() const noexcept {
+    return {floor_div(0 - static_cast<std::int64_t>(s) * t_end, bz),
+            floor_div(extent - 1 - static_cast<std::int64_t>(s) * t_begin, bz)};
+  }
+  Range r_range() const noexcept {
+    const Range ir = i_range(), jr = j_range();
+    return {ir.lo - jr.hi, ir.hi - jr.lo};
+  }
+
+  /// Inclusive t-range of diamond (i, j) clipped to the time window.
+  Range t_range(std::int64_t i, std::int64_t j) const noexcept {
+    const std::int64_t s2 = 2ll * s;
+    // t = (a - b) / (2s) with a in [iB, (i+1)B), b in [jB, (j+1)B)
+    Range r{ceil_div(i * bz - (j + 1) * bz + 1, s2),
+            floor_div((i + 1) * bz - 1 - j * bz, s2)};
+    return intersect(r, {t_begin, t_end});
+  }
+
+  /// Inclusive p-range of diamond (i, j) at time level t, clipped to domain.
+  Range p_range(std::int64_t i, std::int64_t j, std::int64_t t) const noexcept {
+    const std::int64_t st = static_cast<std::int64_t>(s) * t;
+    Range r{i * bz - st, (i + 1) * bz - 1 - st};
+    r = intersect(r, {j * bz + st, (j + 1) * bz - 1 + st});
+    return intersect(r, {0, extent - 1});
+  }
+
+  /// True when diamond (i, j) contains at least one (p, t) cell.
+  bool nonempty(std::int64_t i, std::int64_t j) const noexcept {
+    const Range tr = t_range(i, j);
+    for (std::int64_t t = tr.lo; t <= tr.hi; ++t)
+      if (!p_range(i, j, t).empty()) return true;
+    return false;
+  }
+};
+
+}  // namespace cats

@@ -1,0 +1,65 @@
+#pragma once
+// Naive scheme (Alg. 1): the entire domain advances one timestep at a time.
+// The outermost spatial loop is split into equal tiles, one per thread; the
+// inner loop is the kernel's hand-vectorized row. Threads synchronize with a
+// barrier after each timestep.
+
+#include <algorithm>
+
+#include "core/stencil.hpp"
+#include "core/options.hpp"
+#include "threads/barrier.hpp"
+#include "threads/thread_pool.hpp"
+
+namespace cats {
+
+template <RowKernel1D K>
+void run_naive(K& k, int T, const RunOptions& opt) {
+  const int W = k.width();
+  const int P = std::clamp(opt.threads, 1, W);
+  ThreadPool pool(P);
+  SpinBarrier bar(P);
+  pool.run([&](int tid) {
+    const int x0 = static_cast<int>(static_cast<std::int64_t>(W) * tid / P);
+    const int x1 = static_cast<int>(static_cast<std::int64_t>(W) * (tid + 1) / P);
+    for (int t = 1; t <= T; ++t) {
+      k.process_row(t, x0, x1);
+      bar.arrive_and_wait();
+    }
+  });
+}
+
+template <RowKernel2D K>
+void run_naive(K& k, int T, const RunOptions& opt) {
+  const int W = k.width(), H = k.height();
+  const int P = std::clamp(opt.threads, 1, H);
+  ThreadPool pool(P);
+  SpinBarrier bar(P);
+  pool.run([&](int tid) {
+    const int y0 = static_cast<int>(static_cast<std::int64_t>(H) * tid / P);
+    const int y1 = static_cast<int>(static_cast<std::int64_t>(H) * (tid + 1) / P);
+    for (int t = 1; t <= T; ++t) {
+      for (int y = y0; y < y1; ++y) k.process_row(t, y, 0, W);
+      bar.arrive_and_wait();
+    }
+  });
+}
+
+template <RowKernel3D K>
+void run_naive(K& k, int T, const RunOptions& opt) {
+  const int W = k.width(), H = k.height(), D = k.depth();
+  const int P = std::clamp(opt.threads, 1, D);
+  ThreadPool pool(P);
+  SpinBarrier bar(P);
+  pool.run([&](int tid) {
+    const int z0 = static_cast<int>(static_cast<std::int64_t>(D) * tid / P);
+    const int z1 = static_cast<int>(static_cast<std::int64_t>(D) * (tid + 1) / P);
+    for (int t = 1; t <= T; ++t) {
+      for (int z = z0; z < z1; ++z)
+        for (int y = 0; y < H; ++y) k.process_row(t, y, z, 0, W);
+      bar.arrive_and_wait();
+    }
+  });
+}
+
+}  // namespace cats

@@ -1,0 +1,53 @@
+#pragma once
+// Run options for the CATS library.
+//
+// Mirrors the paper's parameter list (Section III): "CATS takes as parameters
+// the size of the last cache level, the slope of the stencil s, the memory
+// size of a data type and optionally additional cache requirements, e.g., the
+// matrix coefficients." Slope and cache requirements come from the kernel;
+// everything else lives here.
+
+#include <cstddef>
+
+namespace cats {
+
+struct RunStats;  // core/stats.hpp
+
+enum class Scheme {
+  Auto,      ///< general CATS: pick CATS1/CATS2/CATS3 by Eq. 1/2 + rule of thumb
+  Naive,     ///< Alg. 1: sweep the whole domain once per timestep
+  Cats1,     ///< Alg. 2: parallelogram split-tiling + wavefront traversal
+  Cats2,     ///< Alg. 3: diamond tubes + wavefront traversal
+  Cats3,     ///< Sec. II-D: diamond tubes + sequential x-parallelograms (3D)
+  PlutoLike, ///< baseline: multi-dimensional time-skewed tiling (see src/baseline)
+};
+
+struct RunOptions {
+  /// Worker threads (the caller is one of them).
+  int threads = 1;
+
+  /// Usable last-private-cache bytes per thread (Z in Eqs. 1-2).
+  /// 0 = detect (per-core L2 on this machine).
+  std::size_t cache_bytes = 0;
+
+  /// CS = 2s + cs_slack; the paper conservatively chooses 0.8 after a cache
+  /// miss analysis (Wonnacott's pessimistic choice corresponds to 1.0).
+  double cs_slack = 0.8;
+
+  /// Rule of thumb (Section II-D): switch from CATS(k-1) to CATSk when the
+  /// CATS(k-1) wavefront would extend over fewer than this many timesteps.
+  int min_wavefront_timesteps = 10;
+
+  Scheme scheme = Scheme::Auto;
+
+  /// Optional synchronization counters (see core/stats.hpp); not reset by
+  /// run() so several runs can accumulate.
+  RunStats* stats = nullptr;
+
+  /// Test/ablation overrides; 0 = use Eq. 1 / Eq. 2.
+  int tz_override = 0;  ///< CATS1 temporal tile height TZ
+  int bz_override = 0;  ///< CATS2/CATS3 diamond width BZ
+  int bx_override = 0;  ///< CATS3 x-parallelogram width BX
+};
+
+}  // namespace cats

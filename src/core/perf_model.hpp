@@ -1,0 +1,65 @@
+#pragma once
+// Performance model for iterative stencil schemes (the paper's stated future
+// work: "we want to analyze and model the performance of CATS").
+//
+// A scheme's runtime is bounded below by three independent resources:
+//   * DRAM:    traffic_bytes / sys_bandwidth        (the memory wall)
+//   * cache:   cache_bytes   / l2_bandwidth         (wavefront streaming)
+//   * compute: flops         / stencil_peak         (register throughput)
+// A memory-bound scheme runs at max(DRAM, cache, compute); the model combines
+// the machine characterization (bench_harness/machine.hpp) with the analytic
+// traffic model (cachesim/traffic_model.hpp). Benches print predicted vs.
+// measured so the model is continuously validated.
+
+#include <algorithm>
+#include <string>
+
+#include "bench_harness/machine.hpp"
+#include "cachesim/traffic_model.hpp"
+
+namespace cats {
+
+struct PerfPrediction {
+  double dram_seconds = 0.0;
+  double cache_seconds = 0.0;
+  double compute_seconds = 0.0;
+
+  double seconds() const {
+    return std::max({dram_seconds, cache_seconds, compute_seconds});
+  }
+  const char* bound() const {
+    const double s = seconds();
+    if (s == dram_seconds) return "DRAM";
+    if (s == cache_seconds) return "cache";
+    return "compute";
+  }
+};
+
+/// Predict a scheme's runtime from its DRAM traffic and total work.
+///
+/// `dram_bytes`: from the traffic model (scheme dependent).
+/// `cache_bytes`: bytes the kernel streams through the last-level cache —
+///   for a stencil every point's NS+1 values and 1 store pass the cache
+///   once, i.e. roughly (reads + writes) * N * T * 8.
+/// `flops`: N * T * flops_per_point.
+inline PerfPrediction predict_runtime(const bench::MachineProfile& m,
+                                      double dram_bytes, double cache_bytes,
+                                      double flops) {
+  PerfPrediction p;
+  p.dram_seconds = dram_bytes / (m.sys_bw_gbps * 1e9);
+  p.cache_seconds = cache_bytes / (m.l2_bw_gbps * 1e9);
+  p.compute_seconds = flops / (m.stencil_dp_gflops * 1e9);
+  return p;
+}
+
+/// Cache-side traffic of a star-stencil kernel: each computed point loads
+/// its row's new cache line once per neighbor *row* (rows of the same
+/// wavefront hit), stores once. A serviceable approximation for the model:
+/// (state reads + coefficient reads + writes) per point.
+inline double kernel_cache_bytes(const TrafficInput& in) {
+  const double rows_touched = 2.0 * in.slope + 1.0;
+  return (in.state * rows_touched + in.bands + in.state) * in.n * in.t_steps *
+         8.0;
+}
+
+}  // namespace cats

@@ -1,0 +1,30 @@
+#pragma once
+// Serial reference executor: the plainest possible traversal (ascending t,
+// then rows in order). Every scheme must reproduce its results bit-exactly
+// for Jacobi-type kernels, because each output point evaluates the identical
+// floating-point expression regardless of traversal order.
+
+#include "core/stencil.hpp"
+
+namespace cats {
+
+template <RowKernel1D K>
+void run_reference(K& k, int T) {
+  for (int t = 1; t <= T; ++t) k.process_row_scalar(t, 0, k.width());
+}
+
+template <RowKernel2D K>
+void run_reference(K& k, int T) {
+  for (int t = 1; t <= T; ++t)
+    for (int y = 0; y < k.height(); ++y) k.process_row_scalar(t, y, 0, k.width());
+}
+
+template <RowKernel3D K>
+void run_reference(K& k, int T) {
+  for (int t = 1; t <= T; ++t)
+    for (int z = 0; z < k.depth(); ++z)
+      for (int y = 0; y < k.height(); ++y)
+        k.process_row_scalar(t, y, z, 0, k.width());
+}
+
+}  // namespace cats

@@ -1,0 +1,115 @@
+#pragma once
+// Public entry point.
+//
+//   cats::RunOptions opt;            // threads, cache size, scheme...
+//   cats::run(kernel, T, opt);       // apply the stencil T times
+//
+// With Scheme::Auto this is the paper's "general CATS scheme": Eq. 1 picks
+// the CATS1 chunk height; if the CATS1 wavefront would span fewer than 10
+// timesteps the selector switches to CATS2 with the Eq. 2 diamond width.
+// The returned SchemeChoice reports what actually ran.
+
+#include "baseline/pluto_like.hpp"
+#include "core/cats1.hpp"
+#include "core/cats2.hpp"
+#include "core/cats3.hpp"
+#include "core/naive.hpp"
+#include "core/selector.hpp"
+#include "core/stencil.hpp"
+
+namespace cats {
+
+template <RowKernel1D K>
+DomainShape domain_shape(const K& k) {
+  return {k.width(), k.width(), 0, 1};
+}
+
+template <RowKernel2D K>
+DomainShape domain_shape(const K& k) {
+  return {static_cast<std::int64_t>(k.width()) * k.height(), k.height(),
+          k.width(), 2};
+}
+
+template <RowKernel3D K>
+DomainShape domain_shape(const K& k) {
+  return {static_cast<std::int64_t>(k.width()) * k.height() * k.depth(),
+          k.depth(), k.height(), 3};
+}
+
+/// Scheme + parameters that run(k, T, opt) would use (without running).
+template <class K>
+  requires RowKernel1D<K> || RowKernel2D<K> || RowKernel3D<K>
+SchemeChoice plan(const K& k, int T, const RunOptions& opt) {
+  const KernelCosts costs{k.slope(), effective_cs(k, opt.cs_slack),
+                          kernel_element_bytes(k)};
+  return select_scheme(domain_shape(k), costs, opt, T);
+}
+
+/// Apply the kernel's stencil T times with the selected scheme.
+template <class K>
+  requires RowKernel1D<K> || RowKernel2D<K> || RowKernel3D<K>
+SchemeChoice run(K& k, int T, const RunOptions& opt) {
+  // Gauss-Seidel-style kernels (same-timestep spatial reads) admit no
+  // split-tiling parallelism: force the serial CATS1 wavefront (which still
+  // provides the full temporal-locality benefit) or the serial naive sweep.
+  if constexpr (kernel_sequential_deps<K>()) {
+    RunOptions serial = opt;
+    serial.threads = 1;
+    if (opt.scheme != Scheme::Naive) serial.scheme = Scheme::Cats1;
+    const SchemeChoice choice = plan(k, T, serial);
+    if (T <= 0) return choice;
+    if (choice.scheme == Scheme::Naive) {
+      run_naive(k, T, serial);
+    } else {
+      run_cats1(k, T, serial, std::max(1, choice.tz));
+    }
+    return choice;
+  }
+
+  const SchemeChoice choice = plan(k, T, opt);
+  if (T <= 0) return choice;
+  switch (choice.scheme) {
+    case Scheme::Naive:
+      run_naive(k, T, opt);
+      break;
+    case Scheme::Cats1:
+      run_cats1(k, T, opt, choice.tz);
+      break;
+    case Scheme::Cats2:
+      if constexpr (RowKernel1D<K>) {
+        run_cats1(k, T, opt, std::max(1, choice.tz));  // 1D: CATS1 is CATS(d)
+      } else {
+        run_cats2(k, T, opt, choice.bz);
+      }
+      break;
+    case Scheme::Cats3:
+      if constexpr (RowKernel3D<K>) {
+        run_cats3(k, T, opt, choice.bz, choice.bx);
+      } else if constexpr (RowKernel2D<K>) {
+        run_cats2(k, T, opt, choice.bz);  // selector clamps 2D to CATS2
+      } else {
+        run_cats1(k, T, opt, std::max(1, choice.tz));
+      }
+      break;
+    case Scheme::PlutoLike:
+      run_pluto_like(k, T, opt);
+      break;
+    case Scheme::Auto:
+      break;  // unreachable: select_scheme never returns Auto
+  }
+  return choice;
+}
+
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::Auto: return "Auto";
+    case Scheme::Naive: return "Naive";
+    case Scheme::Cats1: return "CATS1";
+    case Scheme::Cats2: return "CATS2";
+    case Scheme::Cats3: return "CATS3";
+    case Scheme::PlutoLike: return "PluTo-like";
+  }
+  return "?";
+}
+
+}  // namespace cats

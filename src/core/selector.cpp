@@ -1,0 +1,94 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sysinfo/cache_info.hpp"
+
+namespace cats {
+
+int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& k) {
+  const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
+  const double tz = zd * static_cast<double>(d.wmax) /
+                    (k.cs_eff * static_cast<double>(d.n));
+  if (tz < 1.0) return 0;
+  return static_cast<int>(tz);
+}
+
+std::int64_t compute_bz(std::size_t cache_bytes, const DomainShape& d,
+                        const KernelCosts& k) {
+  const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
+  const double bz2 = 2.0 * k.slope * zd * static_cast<double>(d.wmax) *
+                     static_cast<double>(d.wmax2) /
+                     (k.cs_eff * static_cast<double>(d.n));
+  const auto bz = static_cast<std::int64_t>(std::sqrt(std::max(bz2, 0.0)));
+  return std::max<std::int64_t>(bz, 2ll * k.slope);
+}
+
+std::int64_t compute_bz3(std::size_t cache_bytes, const KernelCosts& k) {
+  const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
+  const double bz3 = 2.0 * k.slope * zd / k.cs_eff;
+  const auto bz = static_cast<std::int64_t>(std::cbrt(std::max(bz3, 0.0)));
+  return std::max<std::int64_t>(bz, 2ll * k.slope);
+}
+
+std::size_t resolve_cache_bytes(const RunOptions& opt) {
+  if (opt.cache_bytes) return opt.cache_bytes;
+  return detect_cache_info().last_private_bytes();
+}
+
+SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
+                           const RunOptions& opt, int T) {
+  const std::size_t z = resolve_cache_bytes(opt);
+
+  switch (opt.scheme) {
+    case Scheme::Naive:
+      return {Scheme::Naive, 0, 0};
+    case Scheme::Cats1: {
+      int tz = opt.tz_override ? opt.tz_override
+                               : std::max(1, compute_tz(z, d, k));
+      return {Scheme::Cats1, std::min(tz, T), 0};
+    }
+    case Scheme::Cats2: {
+      std::int64_t bz = opt.bz_override ? opt.bz_override : compute_bz(z, d, k);
+      return {Scheme::Cats2, 0, std::max<std::int64_t>(bz, 2ll * k.slope), 0};
+    }
+    case Scheme::Cats3: {
+      // CATS-k requires k distinct skewed dimensions: clamp to CATS2 in 2D.
+      if (d.dims < 3) {
+        std::int64_t bz = opt.bz_override ? opt.bz_override : compute_bz(z, d, k);
+        return {Scheme::Cats2, 0, std::max<std::int64_t>(bz, 2ll * k.slope), 0};
+      }
+      std::int64_t bz = opt.bz_override ? opt.bz_override : compute_bz3(z, k);
+      std::int64_t bx = opt.bx_override ? opt.bx_override : bz;
+      return {Scheme::Cats3, 0, std::max<std::int64_t>(bz, 2ll * k.slope),
+              std::max<std::int64_t>(bx, 2ll * k.slope)};
+    }
+    case Scheme::PlutoLike:
+      return {Scheme::PlutoLike, 0, 0, 0};
+    case Scheme::Auto:
+      break;
+  }
+
+  // General CATS (Section II-D). 1D domains always use CATS1 (CATS0 would be
+  // the naive scheme). Otherwise: CATS(k-1) while its wavefront spans at
+  // least min_wavefront_timesteps, else CATS(k).
+  const int tz = opt.tz_override ? opt.tz_override : compute_tz(z, d, k);
+  if (d.dims == 1 || tz >= opt.min_wavefront_timesteps || tz >= T) {
+    return {Scheme::Cats1, std::max(1, std::min(tz, T)), 0, 0};
+  }
+  const std::int64_t bz = opt.bz_override ? opt.bz_override : compute_bz(z, d, k);
+  // A CATS2 diamond spans BZ/s timesteps; when even that drops below the
+  // rule-of-thumb depth (enormous 3D domains / tiny caches), move to CATS3.
+  if (d.dims >= 3 && bz / k.slope < opt.min_wavefront_timesteps &&
+      bz / k.slope < T) {
+    const std::int64_t bz3 = compute_bz3(z, k);
+    const std::int64_t bx =
+        opt.bx_override ? opt.bx_override : bz3;
+    return {Scheme::Cats3, 0, std::max<std::int64_t>(bz3, 2ll * k.slope),
+            std::max<std::int64_t>(bx, 2ll * k.slope)};
+  }
+  return {Scheme::Cats2, 0, bz, 0};
+}
+
+}  // namespace cats

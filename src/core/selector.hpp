@@ -1,0 +1,60 @@
+#pragma once
+// General CATS scheme selection (Section II-D).
+//
+// Eq. 1:  TZ = floor( Zd * Wmax / (CS' * N) )          (CATS1 chunk height)
+// Eq. 2:  BZ = floor( sqrt( 2s * Zd * Wmax * Wmax2 / (CS' * N) ) )
+//                                                      (CATS2 diamond width)
+// where Zd = usable cache size in doubles, CS' the effective per-point cache
+// share (2s + slack, scaled by field count, plus NS for banded matrices),
+// N the domain size, Wmax the traversed extent and Wmax2 the tiled extent.
+//
+// Rule of thumb: use CATS(k-1) unless its wavefront would span fewer than
+// `min_wavefront_timesteps` (default 10); then switch to CATSk.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/options.hpp"
+
+namespace cats {
+
+struct DomainShape {
+  std::int64_t n = 0;      ///< total points N
+  std::int64_t wmax = 0;   ///< traversal-dimension extent
+  std::int64_t wmax2 = 0;  ///< tiling-dimension extent (CATS2); 0 in 1D
+  int dims = 2;
+};
+
+struct KernelCosts {
+  int slope = 1;
+  double cs_eff = 2.8;     ///< effective CS' (see stencil.hpp effective_cs)
+  double elem_bytes = 8.0; ///< storage bytes per element (4 for float)
+};
+
+struct SchemeChoice {
+  Scheme scheme = Scheme::Naive;
+  int tz = 0;           ///< CATS1 chunk height (when scheme == Cats1)
+  std::int64_t bz = 0;  ///< CATS2/CATS3 diamond width
+  std::int64_t bx = 0;  ///< CATS3 x-parallelogram width
+};
+
+/// Eq. 1. Returns 0 when even one timestep does not fit.
+int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& k);
+
+/// Eq. 2. Clamped below at 2s (minimum useful diamond).
+std::int64_t compute_bz(std::size_t cache_bytes, const DomainShape& d,
+                        const KernelCosts& k);
+
+/// CATS3 sizing: with a diamond in (y,t) and a BX-wide x-parallelogram, the
+/// wavefront holds CS' * BX * BZ^2/(2s) doubles; choosing BX = BZ (balanced)
+/// gives BZ = cbrt(2s * Zd / CS'). Clamped below at 2s.
+std::int64_t compute_bz3(std::size_t cache_bytes, const KernelCosts& k);
+
+/// General CATS selection; honors opt.scheme / overrides / rule of thumb.
+SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
+                           const RunOptions& opt, int T);
+
+/// opt.cache_bytes, or the detected per-core private L2 when 0.
+std::size_t resolve_cache_bytes(const RunOptions& opt);
+
+}  // namespace cats

@@ -1,0 +1,42 @@
+#pragma once
+// Optional synchronization statistics.
+//
+// The paper's minimalist-parallelization argument rests on two empirical
+// claims: split-tiling waits almost never fire ("in practice the thread tid
+// does not have to wait") and per-diamond waits are short. Passing a
+// RunStats through RunOptions makes the schemes count every wait that
+// actually spun, so the claim can be checked on any machine/workload.
+// Collection is wait-path-only (one branch on an already-loaded value), so
+// the fast path is unaffected.
+
+#include <atomic>
+#include <cstdint>
+
+namespace cats {
+
+struct RunStats {
+  /// Waits that found their condition unsatisfied at least once.
+  std::atomic<std::int64_t> wait_events{0};
+  /// Total spin/yield iterations across those waits (rough wait cost).
+  std::atomic<std::int64_t> wait_spins{0};
+  /// Tiles (parallelogram wavefront-columns / diamonds) processed.
+  std::atomic<std::int64_t> tiles_processed{0};
+  /// Global barriers crossed (per participant).
+  std::atomic<std::int64_t> barriers{0};
+
+  void reset() {
+    wait_events.store(0, std::memory_order_relaxed);
+    wait_spins.store(0, std::memory_order_relaxed);
+    tiles_processed.store(0, std::memory_order_relaxed);
+    barriers.store(0, std::memory_order_relaxed);
+  }
+
+  void add_wait(std::int64_t spins) {
+    if (spins > 0) {
+      wait_events.fetch_add(1, std::memory_order_relaxed);
+      wait_spins.fetch_add(spins, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace cats

@@ -1,0 +1,60 @@
+#pragma once
+// Aligned heap buffer for grid storage.
+//
+// Stencil kernels issue SIMD loads/stores on rows, so every row must start at
+// a vector-friendly address. We align to 64 bytes (cache line, also the widest
+// AVX-512 vector) and pad sizes up so the allocation itself is a whole number
+// of lines.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace cats {
+
+inline constexpr std::size_t kAlign = 64;
+
+/// Round `n` up to a multiple of `m` (m > 0).
+constexpr std::size_t round_up(std::size_t n, std::size_t m) noexcept {
+  return (n + m - 1) / m * m;
+}
+
+namespace detail {
+struct FreeDeleter {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+}  // namespace detail
+
+/// Fixed-size, 64-byte aligned array of T. Moves, never copies implicitly.
+template <class T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T), kAlign);
+    void* p = std::aligned_alloc(kAlign, bytes);
+    if (!p) throw std::bad_alloc{};
+    data_.reset(static_cast<T*>(p));
+  }
+
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+
+  T& operator[](std::size_t i) noexcept { return data_.get()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_.get()[i]; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+ private:
+  std::unique_ptr<T, detail::FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cats

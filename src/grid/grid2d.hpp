@@ -1,0 +1,82 @@
+#pragma once
+// 2D grid with a ghost boundary ring.
+//
+// Interior coordinates are (x, y) in [0, width) x [0, height). The ghost ring
+// of width `ghost` surrounds the interior and holds boundary values
+// (Dirichlet data at dOmega x {0..T} in the paper's notation); kernels read
+// it but schemes never write it. Rows are padded so that interior row starts
+// are 64-byte aligned.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+#include "grid/aligned_buffer.hpp"
+
+namespace cats {
+
+template <class T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  Grid2D(int width, int height, int ghost)
+      : w_(width), h_(height), g_(ghost) {
+    assert(width > 0 && height > 0 && ghost >= 0);
+    const std::size_t elems_per_line = kAlign / sizeof(T);
+    // Pad each row so (x=0, y) is 64-byte aligned: the row starts `ghost`
+    // elements after an aligned boundary, so pre-pad the ghost up to a full
+    // alignment block.
+    lead_ = round_up(static_cast<std::size_t>(g_), elems_per_line);
+    pitch_ = lead_ + round_up(static_cast<std::size_t>(w_) + g_, elems_per_line);
+    buf_ = AlignedBuffer<T>(pitch_ * (static_cast<std::size_t>(h_) + 2 * g_));
+    std::fill(buf_.begin(), buf_.end(), T{});
+  }
+
+  int width() const noexcept { return w_; }
+  int height() const noexcept { return h_; }
+  int ghost() const noexcept { return g_; }
+  std::size_t pitch() const noexcept { return pitch_; }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  /// Linear index of interior point (x, y); valid for
+  /// x in [-ghost, width+ghost), y in [-ghost, height+ghost).
+  std::size_t index(int x, int y) const noexcept {
+    return (static_cast<std::size_t>(y + g_)) * pitch_ + lead_ +
+           static_cast<std::size_t>(x);
+  }
+
+  T& at(int x, int y) noexcept { return buf_[index(x, y)]; }
+  const T& at(int x, int y) const noexcept { return buf_[index(x, y)]; }
+
+  /// Pointer to interior point (0, y); row extends to at least width+ghost.
+  T* row(int y) noexcept { return buf_.data() + index(0, y); }
+  const T* row(int y) const noexcept { return buf_.data() + index(0, y); }
+
+  T* data() noexcept { return buf_.data(); }
+  const T* data() const noexcept { return buf_.data(); }
+
+  /// Set every cell (interior + ghost) to `v`.
+  void fill(T v) { std::fill(buf_.begin(), buf_.end(), v); }
+
+  /// Set the ghost ring (all cells outside the interior) to `v`.
+  void fill_ghost(T v) {
+    for (int y = -g_; y < h_ + g_; ++y)
+      for (int x = -g_; x < w_ + g_; ++x)
+        if (x < 0 || x >= w_ || y < 0 || y >= h_) at(x, y) = v;
+  }
+
+  /// Apply f(x, y) -> T over the interior.
+  template <class F>
+  void fill_interior(F&& f) {
+    for (int y = 0; y < h_; ++y)
+      for (int x = 0; x < w_; ++x) at(x, y) = f(x, y);
+  }
+
+ private:
+  int w_ = 0, h_ = 0, g_ = 0;
+  std::size_t lead_ = 0, pitch_ = 0;
+  AlignedBuffer<T> buf_;
+};
+
+}  // namespace cats

@@ -1,0 +1,75 @@
+#pragma once
+// 3D grid with a ghost boundary shell; see grid2d.hpp for conventions.
+// Interior coordinates (x, y, z) in [0,W) x [0,H) x [0,D); x is unit stride.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+#include "grid/aligned_buffer.hpp"
+
+namespace cats {
+
+template <class T>
+class Grid3D {
+ public:
+  Grid3D() = default;
+
+  Grid3D(int width, int height, int depth, int ghost)
+      : w_(width), h_(height), d_(depth), g_(ghost) {
+    assert(width > 0 && height > 0 && depth > 0 && ghost >= 0);
+    const std::size_t elems_per_line = kAlign / sizeof(T);
+    lead_ = round_up(static_cast<std::size_t>(g_), elems_per_line);
+    pitch_ = lead_ + round_up(static_cast<std::size_t>(w_) + g_, elems_per_line);
+    slice_ = pitch_ * (static_cast<std::size_t>(h_) + 2 * g_);
+    buf_ = AlignedBuffer<T>(slice_ * (static_cast<std::size_t>(d_) + 2 * g_));
+    std::fill(buf_.begin(), buf_.end(), T{});
+  }
+
+  int width() const noexcept { return w_; }
+  int height() const noexcept { return h_; }
+  int depth() const noexcept { return d_; }
+  int ghost() const noexcept { return g_; }
+  std::size_t pitch() const noexcept { return pitch_; }
+  std::size_t slice() const noexcept { return slice_; }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  std::size_t index(int x, int y, int z) const noexcept {
+    return static_cast<std::size_t>(z + g_) * slice_ +
+           static_cast<std::size_t>(y + g_) * pitch_ + lead_ +
+           static_cast<std::size_t>(x);
+  }
+
+  T& at(int x, int y, int z) noexcept { return buf_[index(x, y, z)]; }
+  const T& at(int x, int y, int z) const noexcept { return buf_[index(x, y, z)]; }
+
+  T* row(int y, int z) noexcept { return buf_.data() + index(0, y, z); }
+  const T* row(int y, int z) const noexcept { return buf_.data() + index(0, y, z); }
+
+  T* data() noexcept { return buf_.data(); }
+  const T* data() const noexcept { return buf_.data(); }
+
+  void fill(T v) { std::fill(buf_.begin(), buf_.end(), v); }
+
+  void fill_ghost(T v) {
+    for (int z = -g_; z < d_ + g_; ++z)
+      for (int y = -g_; y < h_ + g_; ++y)
+        for (int x = -g_; x < w_ + g_; ++x)
+          if (x < 0 || x >= w_ || y < 0 || y >= h_ || z < 0 || z >= d_)
+            at(x, y, z) = v;
+  }
+
+  template <class F>
+  void fill_interior(F&& f) {
+    for (int z = 0; z < d_; ++z)
+      for (int y = 0; y < h_; ++y)
+        for (int x = 0; x < w_; ++x) at(x, y, z) = f(x, y, z);
+  }
+
+ private:
+  int w_ = 0, h_ = 0, d_ = 0, g_ = 0;
+  std::size_t lead_ = 0, pitch_ = 0, slice_ = 0;
+  AlignedBuffer<T> buf_;
+};
+
+}  // namespace cats

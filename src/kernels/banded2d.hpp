@@ -1,0 +1,112 @@
+#pragma once
+// Variable-coefficient star stencil in 2D = banded-matrix vector product
+// (Section III-B). Each of the NS = 4S+1 stencil positions has its own
+// coefficient field (structure-of-arrays, so coefficient loads are
+// unit-stride SIMD like the values). The matrix entries for the current
+// wavefront must reside in cache too, so CS is augmented by NS (the paper
+// replaces CS by CS + NS in Eqs. 1-2) — extra_cache_doubles_per_point().
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid2d.hpp"
+#include "simd/vecd.hpp"
+
+namespace cats {
+
+template <int S>
+class Banded2D {
+  static_assert(S >= 1 && S <= 4);
+
+ public:
+  static constexpr int kBands = 4 * S + 1;  // NS
+
+  Banded2D(int width, int height)
+      : buf_{Grid2D<double>(width, height, S),
+             Grid2D<double>(width, height, S)} {
+    bands_.reserve(kBands);
+    for (int b = 0; b < kBands; ++b) bands_.emplace_back(width, height, S);
+  }
+
+  int width() const { return buf_[0].width(); }
+  int height() const { return buf_[0].height(); }
+  int slope() const { return S; }
+  double flops_per_point() const { return 8.0 * S + 1.0; }
+  double state_doubles_per_point() const { return 1.0; }
+  double extra_cache_doubles_per_point() const { return kBands; }
+
+  /// Band order: 0 = center, then per k=1..S: x-k, x+k, y-k, y+k.
+  Grid2D<double>& band(int b) { return bands_[static_cast<std::size_t>(b)]; }
+
+  template <class F>
+  void init(F&& f, double bnd = 0.0) {
+    buf_[0].fill(bnd);
+    buf_[1].fill(bnd);
+    buf_[0].fill_interior(f);
+  }
+
+  /// g(b, x, y) -> coefficient of band b at row position (x, y).
+  template <class G>
+  void init_bands(G&& g) {
+    for (int b = 0; b < kBands; ++b)
+      bands_[static_cast<std::size_t>(b)].fill_interior(
+          [&](int x, int y) { return g(b, x, y); });
+  }
+
+  const Grid2D<double>& grid_at(int t) const { return buf_[t & 1]; }
+
+  void copy_result_to(std::vector<double>& out, int T) const {
+    const Grid2D<double>& g = grid_at(T);
+    out.clear();
+    for (int y = 0; y < height(); ++y)
+      for (int x = 0; x < width(); ++x) out.push_back(g.at(x, y));
+  }
+
+  void process_row(int t, int y, int x0, int x1) {
+    const int x = span<simd::VecD>(t, y, x0, x1);
+    span<simd::ScalarD>(t, y, x, x1);
+  }
+
+  void process_row_scalar(int t, int y, int x0, int x1) {
+    span<simd::ScalarD>(t, y, x0, x1);
+  }
+
+ private:
+  template <class V>
+  int span(int t, int y, int x0, int x1) {
+    const Grid2D<double>& src = buf_[(t - 1) & 1];
+    Grid2D<double>& dst = buf_[t & 1];
+    const double* c = src.row(y);
+    double* o = dst.row(y);
+    const double* rm[S];
+    const double* rp[S];
+    const double* bc = bands_[0].row(y);
+    const double *bxm[S], *bxp[S], *bym[S], *byp[S];
+    for (int k = 0; k < S; ++k) {
+      rm[k] = src.row(y - (k + 1));
+      rp[k] = src.row(y + (k + 1));
+      const std::size_t base = static_cast<std::size_t>(4 * k);
+      bxm[k] = bands_[base + 1].row(y);
+      bxp[k] = bands_[base + 2].row(y);
+      bym[k] = bands_[base + 3].row(y);
+      byp[k] = bands_[base + 4].row(y);
+    }
+    int x = x0;
+    for (; x + V::width <= x1; x += V::width) {
+      V acc = V::load(bc + x) * V::load(c + x);
+      for (int k = 0; k < S; ++k) {
+        acc = acc + V::load(bxm[k] + x) * V::load(c + x - (k + 1));
+        acc = acc + V::load(bxp[k] + x) * V::load(c + x + (k + 1));
+        acc = acc + V::load(bym[k] + x) * V::load(rm[k] + x);
+        acc = acc + V::load(byp[k] + x) * V::load(rp[k] + x);
+      }
+      acc.store(o + x);
+    }
+    return x;
+  }
+
+  Grid2D<double> buf_[2];
+  std::vector<Grid2D<double>> bands_;
+};
+
+}  // namespace cats

@@ -1,0 +1,115 @@
+#pragma once
+// Variable-coefficient star stencil in 3D = banded-matrix vector product
+// with NS = 6S+1 bands (7 bands for slope 1 — the paper's Figs. 11/12).
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "simd/vecd.hpp"
+
+namespace cats {
+
+template <int S>
+class Banded3D {
+  static_assert(S >= 1 && S <= 4);
+
+ public:
+  static constexpr int kBands = 6 * S + 1;  // NS
+
+  Banded3D(int width, int height, int depth)
+      : buf_{Grid3D<double>(width, height, depth, S),
+             Grid3D<double>(width, height, depth, S)} {
+    bands_.reserve(kBands);
+    for (int b = 0; b < kBands; ++b)
+      bands_.emplace_back(width, height, depth, S);
+  }
+
+  int width() const { return buf_[0].width(); }
+  int height() const { return buf_[0].height(); }
+  int depth() const { return buf_[0].depth(); }
+  int slope() const { return S; }
+  double flops_per_point() const { return 12.0 * S + 1.0; }
+  double state_doubles_per_point() const { return 1.0; }
+  double extra_cache_doubles_per_point() const { return kBands; }
+
+  /// Band order: 0 = center, then per k=1..S: x-k, x+k, y-k, y+k, z-k, z+k.
+  Grid3D<double>& band(int b) { return bands_[static_cast<std::size_t>(b)]; }
+
+  template <class F>
+  void init(F&& f, double bnd = 0.0) {
+    buf_[0].fill(bnd);
+    buf_[1].fill(bnd);
+    buf_[0].fill_interior(f);
+  }
+
+  template <class G>
+  void init_bands(G&& g) {
+    for (int b = 0; b < kBands; ++b)
+      bands_[static_cast<std::size_t>(b)].fill_interior(
+          [&](int x, int y, int z) { return g(b, x, y, z); });
+  }
+
+  const Grid3D<double>& grid_at(int t) const { return buf_[t & 1]; }
+
+  void copy_result_to(std::vector<double>& out, int T) const {
+    const Grid3D<double>& g = grid_at(T);
+    out.clear();
+    for (int z = 0; z < depth(); ++z)
+      for (int y = 0; y < height(); ++y)
+        for (int x = 0; x < width(); ++x) out.push_back(g.at(x, y, z));
+  }
+
+  void process_row(int t, int y, int z, int x0, int x1) {
+    const int x = span<simd::VecD>(t, y, z, x0, x1);
+    span<simd::ScalarD>(t, y, z, x, x1);
+  }
+
+  void process_row_scalar(int t, int y, int z, int x0, int x1) {
+    span<simd::ScalarD>(t, y, z, x0, x1);
+  }
+
+ private:
+  template <class V>
+  int span(int t, int y, int z, int x0, int x1) {
+    const Grid3D<double>& src = buf_[(t - 1) & 1];
+    Grid3D<double>& dst = buf_[t & 1];
+    const double* c = src.row(y, z);
+    double* o = dst.row(y, z);
+    const double *rym[S], *ryp[S], *rzm[S], *rzp[S];
+    const double* bc = bands_[0].row(y, z);
+    const double *bxm[S], *bxp[S], *bym[S], *byp[S], *bzm[S], *bzp[S];
+    for (int k = 0; k < S; ++k) {
+      rym[k] = src.row(y - (k + 1), z);
+      ryp[k] = src.row(y + (k + 1), z);
+      rzm[k] = src.row(y, z - (k + 1));
+      rzp[k] = src.row(y, z + (k + 1));
+      const std::size_t base = static_cast<std::size_t>(6 * k);
+      bxm[k] = bands_[base + 1].row(y, z);
+      bxp[k] = bands_[base + 2].row(y, z);
+      bym[k] = bands_[base + 3].row(y, z);
+      byp[k] = bands_[base + 4].row(y, z);
+      bzm[k] = bands_[base + 5].row(y, z);
+      bzp[k] = bands_[base + 6].row(y, z);
+    }
+    int x = x0;
+    for (; x + V::width <= x1; x += V::width) {
+      V acc = V::load(bc + x) * V::load(c + x);
+      for (int k = 0; k < S; ++k) {
+        acc = acc + V::load(bxm[k] + x) * V::load(c + x - (k + 1));
+        acc = acc + V::load(bxp[k] + x) * V::load(c + x + (k + 1));
+        acc = acc + V::load(bym[k] + x) * V::load(rym[k] + x);
+        acc = acc + V::load(byp[k] + x) * V::load(ryp[k] + x);
+        acc = acc + V::load(bzm[k] + x) * V::load(rzm[k] + x);
+        acc = acc + V::load(bzp[k] + x) * V::load(rzp[k] + x);
+      }
+      acc.store(o + x);
+    }
+    return x;
+  }
+
+  Grid3D<double> buf_[2];
+  std::vector<Grid3D<double>> bands_;
+};
+
+}  // namespace cats

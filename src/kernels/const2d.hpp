@@ -1,0 +1,126 @@
+#pragma once
+// Constant-weight star stencil in 2D (the paper's "general 5-point stencil"
+// for slope 1; 4S+1 points, 8S+1 flops for slope S).
+//
+// Weight layout: center w0, then per distance k=1..S the four axis weights
+// (x-k, x+k, y-k, y+k), all distinct ("general" stencil: one multiply per
+// point, matching the paper's 5 muls + 4 adds in 2D).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid2d.hpp"
+#include "simd/vecd.hpp"
+
+namespace cats {
+
+template <int S>
+class ConstStar2D {
+  static_assert(S >= 1 && S <= 4);
+
+ public:
+  static constexpr int kPoints = 4 * S + 1;
+
+  struct Weights {
+    double center = 0.0;
+    std::array<double, S> xm{}, xp{}, ym{}, yp{};
+  };
+
+  ConstStar2D(int width, int height, const Weights& w)
+      : w_(w), buf_{Grid2D<double>(width, height, S),
+                    Grid2D<double>(width, height, S)} {}
+
+  int width() const { return buf_[0].width(); }
+  int height() const { return buf_[0].height(); }
+  int slope() const { return S; }
+  double flops_per_point() const { return 8.0 * S + 1.0; }
+  double state_doubles_per_point() const { return 1.0; }
+  double extra_cache_doubles_per_point() const { return 0.0; }
+
+  /// Set initial interior values u(x,y,t=0) and constant boundary `bnd`.
+  template <class F>
+  void init(F&& f, double bnd = 0.0) {
+    buf_[0].fill(bnd);
+    buf_[1].fill(bnd);
+    buf_[0].fill_interior(f);
+  }
+
+  const Grid2D<double>& grid_at(int t) const { return buf_[t & 1]; }
+  Grid2D<double>& grid_at(int t) { return buf_[t & 1]; }
+
+  void copy_result_to(std::vector<double>& out, int T) const {
+    const Grid2D<double>& g = grid_at(T);
+    out.clear();
+    out.reserve(static_cast<std::size_t>(width()) * height());
+    for (int y = 0; y < height(); ++y)
+      for (int x = 0; x < width(); ++x) out.push_back(g.at(x, y));
+  }
+
+  void process_row(int t, int y, int x0, int x1) {
+    const int x = span<simd::VecD>(t, y, x0, x1);
+    span<simd::ScalarD>(t, y, x, x1);
+  }
+
+  void process_row_scalar(int t, int y, int x0, int x1) {
+    span<simd::ScalarD>(t, y, x0, x1);
+  }
+
+ private:
+  /// Process x in [x0, x1) in V-width steps; returns the first unprocessed x.
+  template <class V>
+  int span(int t, int y, int x0, int x1) {
+    const Grid2D<double>& src = buf_[(t - 1) & 1];
+    Grid2D<double>& dst = buf_[t & 1];
+    const double* c = src.row(y);
+    double* o = dst.row(y);
+    const double* rm[S];
+    const double* rp[S];
+    for (int k = 0; k < S; ++k) {
+      rm[k] = src.row(y - (k + 1));
+      rp[k] = src.row(y + (k + 1));
+    }
+    const V wc = V::broadcast(w_.center);
+    V wxm[S], wxp[S], wym[S], wyp[S];
+    for (int k = 0; k < S; ++k) {
+      wxm[k] = V::broadcast(w_.xm[static_cast<std::size_t>(k)]);
+      wxp[k] = V::broadcast(w_.xp[static_cast<std::size_t>(k)]);
+      wym[k] = V::broadcast(w_.ym[static_cast<std::size_t>(k)]);
+      wyp[k] = V::broadcast(w_.yp[static_cast<std::size_t>(k)]);
+    }
+    int x = x0;
+    for (; x + V::width <= x1; x += V::width) {
+      V acc = wc * V::load(c + x);
+      for (int k = 0; k < S; ++k) {
+        acc = acc + wxm[k] * V::load(c + x - (k + 1));
+        acc = acc + wxp[k] * V::load(c + x + (k + 1));
+        acc = acc + wym[k] * V::load(rm[k] + x);
+        acc = acc + wyp[k] * V::load(rp[k] + x);
+      }
+      acc.store(o + x);
+    }
+    return x;
+  }
+
+  Weights w_;
+  Grid2D<double> buf_[2];
+};
+
+/// Standard heat-equation-flavored weights for examples and tests.
+template <int S>
+typename ConstStar2D<S>::Weights default_star2d_weights() {
+  typename ConstStar2D<S>::Weights w;
+  w.center = 0.5;
+  for (int k = 0; k < S; ++k) {
+    const double f = 0.5 / (4 * S) * (k == 0 ? 1.2 : 0.8);
+    const auto i = static_cast<std::size_t>(k);
+    // Slightly asymmetric so tests catch transposed/reflected indexing bugs.
+    w.xm[i] = f * 1.01;
+    w.xp[i] = f * 0.99;
+    w.ym[i] = f * 1.02;
+    w.yp[i] = f * 0.98;
+  }
+  return w;
+}
+
+}  // namespace cats

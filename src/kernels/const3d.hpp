@@ -1,0 +1,129 @@
+#pragma once
+// Constant-weight star stencil in 3D (7-point for slope 1, 13-point for
+// slope 2, 19-point for slope 3 — the Section III-E sweep). 6S+1 points,
+// 12S+1 flops.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "simd/vecd.hpp"
+
+namespace cats {
+
+template <int S>
+class ConstStar3D {
+  static_assert(S >= 1 && S <= 4);
+
+ public:
+  static constexpr int kPoints = 6 * S + 1;
+
+  struct Weights {
+    double center = 0.0;
+    std::array<double, S> xm{}, xp{}, ym{}, yp{}, zm{}, zp{};
+  };
+
+  ConstStar3D(int width, int height, int depth, const Weights& w)
+      : w_(w), buf_{Grid3D<double>(width, height, depth, S),
+                    Grid3D<double>(width, height, depth, S)} {}
+
+  int width() const { return buf_[0].width(); }
+  int height() const { return buf_[0].height(); }
+  int depth() const { return buf_[0].depth(); }
+  int slope() const { return S; }
+  double flops_per_point() const { return 12.0 * S + 1.0; }
+  double state_doubles_per_point() const { return 1.0; }
+  double extra_cache_doubles_per_point() const { return 0.0; }
+
+  template <class F>
+  void init(F&& f, double bnd = 0.0) {
+    buf_[0].fill(bnd);
+    buf_[1].fill(bnd);
+    buf_[0].fill_interior(f);
+  }
+
+  const Grid3D<double>& grid_at(int t) const { return buf_[t & 1]; }
+  Grid3D<double>& grid_at(int t) { return buf_[t & 1]; }
+
+  void copy_result_to(std::vector<double>& out, int T) const {
+    const Grid3D<double>& g = grid_at(T);
+    out.clear();
+    out.reserve(static_cast<std::size_t>(width()) * height() * depth());
+    for (int z = 0; z < depth(); ++z)
+      for (int y = 0; y < height(); ++y)
+        for (int x = 0; x < width(); ++x) out.push_back(g.at(x, y, z));
+  }
+
+  void process_row(int t, int y, int z, int x0, int x1) {
+    const int x = span<simd::VecD>(t, y, z, x0, x1);
+    span<simd::ScalarD>(t, y, z, x, x1);
+  }
+
+  void process_row_scalar(int t, int y, int z, int x0, int x1) {
+    span<simd::ScalarD>(t, y, z, x0, x1);
+  }
+
+ private:
+  template <class V>
+  int span(int t, int y, int z, int x0, int x1) {
+    const Grid3D<double>& src = buf_[(t - 1) & 1];
+    Grid3D<double>& dst = buf_[t & 1];
+    const double* c = src.row(y, z);
+    double* o = dst.row(y, z);
+    const double *rym[S], *ryp[S], *rzm[S], *rzp[S];
+    for (int k = 0; k < S; ++k) {
+      rym[k] = src.row(y - (k + 1), z);
+      ryp[k] = src.row(y + (k + 1), z);
+      rzm[k] = src.row(y, z - (k + 1));
+      rzp[k] = src.row(y, z + (k + 1));
+    }
+    const V wc = V::broadcast(w_.center);
+    V wxm[S], wxp[S], wym[S], wyp[S], wzm[S], wzp[S];
+    for (int k = 0; k < S; ++k) {
+      const auto i = static_cast<std::size_t>(k);
+      wxm[k] = V::broadcast(w_.xm[i]);
+      wxp[k] = V::broadcast(w_.xp[i]);
+      wym[k] = V::broadcast(w_.ym[i]);
+      wyp[k] = V::broadcast(w_.yp[i]);
+      wzm[k] = V::broadcast(w_.zm[i]);
+      wzp[k] = V::broadcast(w_.zp[i]);
+    }
+    int x = x0;
+    for (; x + V::width <= x1; x += V::width) {
+      V acc = wc * V::load(c + x);
+      for (int k = 0; k < S; ++k) {
+        acc = acc + wxm[k] * V::load(c + x - (k + 1));
+        acc = acc + wxp[k] * V::load(c + x + (k + 1));
+        acc = acc + wym[k] * V::load(rym[k] + x);
+        acc = acc + wyp[k] * V::load(ryp[k] + x);
+        acc = acc + wzm[k] * V::load(rzm[k] + x);
+        acc = acc + wzp[k] * V::load(rzp[k] + x);
+      }
+      acc.store(o + x);
+    }
+    return x;
+  }
+
+  Weights w_;
+  Grid3D<double> buf_[2];
+};
+
+template <int S>
+typename ConstStar3D<S>::Weights default_star3d_weights() {
+  typename ConstStar3D<S>::Weights w;
+  w.center = 0.4;
+  for (int k = 0; k < S; ++k) {
+    const double f = 0.6 / (6 * S) * (k == 0 ? 1.2 : 0.8);
+    const auto i = static_cast<std::size_t>(k);
+    w.xm[i] = f * 1.01;
+    w.xp[i] = f * 0.99;
+    w.ym[i] = f * 1.02;
+    w.yp[i] = f * 0.98;
+    w.zm[i] = f * 1.03;
+    w.zp[i] = f * 0.97;
+  }
+  return w;
+}
+
+}  // namespace cats

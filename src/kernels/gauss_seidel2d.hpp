@@ -1,0 +1,91 @@
+#pragma once
+// In-place Gauss-Seidel / SOR kernel (slope 1, 2D).
+//
+// The paper (Section II): "Some stencil computations like Gauss-Seidel, that
+// use values from timestep t-1 and t while computing timestep t, can be
+// performed inplace with just one copy of Omega." This kernel stores exactly
+// one copy and updates it in place:
+//
+//   u(x,y) <- (1-w)*u(x,y) + w*( cxm*u(x-1,y) + cym*u(x,y-1)     [updated, t]
+//                               + cxp*u(x+1,y) + cyp*u(x,y+1) )  [old, t-1]
+//
+// Its dependence vectors include SAME-timestep reads at (x-1, y) and
+// (x, y-1), so it cannot be split-tiled or diamond-tiled in parallel: the
+// left neighbor tile would have to finish before the right one starts.
+// Under the *serial* CATS1 wavefront order (u = y + t ascending, t ascending
+// within a wavefront, x ascending within a row) every dependence is
+// satisfied, so CATS still delivers its full temporal-locality benefit —
+// with one thread. The kernel advertises this via sequential_spatial_deps;
+// run() then forces a single tile (see core/run.hpp).
+//
+// Because each point is computed exactly once per timestep from operands
+// whose values are fixed by the dependence structure (not by the traversal),
+// any legal order gives bit-identical results — the tests exploit this.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid2d.hpp"
+#include "simd/vecd.hpp"
+
+namespace cats {
+
+class GaussSeidel2D {
+ public:
+  static constexpr bool sequential_spatial_deps = true;
+
+  struct Weights {
+    double relax = 1.0;  ///< SOR omega (1.0 = plain Gauss-Seidel)
+    double xm = 0.25, xp = 0.25, ym = 0.25, yp = 0.25;
+  };
+
+  GaussSeidel2D(int width, int height, const Weights& w)
+      : w_(w), u_(width, height, 1) {}
+
+  int width() const { return u_.width(); }
+  int height() const { return u_.height(); }
+  int slope() const { return 1; }
+  /// 4 muls + 3 adds for the neighbor sum, + 2 muls + 1 add for relaxation.
+  double flops_per_point() const { return 10.0; }
+  /// One copy of the domain (the paper's in-place remark).
+  double state_doubles_per_point() const { return 0.5; }
+  double extra_cache_doubles_per_point() const { return 0.0; }
+
+  template <class F>
+  void init(F&& f, double bnd = 0.0) {
+    u_.fill(bnd);
+    u_.fill_interior(f);
+  }
+
+  const Grid2D<double>& grid() const { return u_; }
+
+  void copy_result_to(std::vector<double>& out, int) const {
+    out.clear();
+    for (int y = 0; y < height(); ++y)
+      for (int x = 0; x < width(); ++x) out.push_back(u_.at(x, y));
+  }
+
+  // In-place updates leave nothing to vectorize across x (u(x-1) feeds
+  // u(x)); both paths are the sequential scalar recurrence.
+  void process_row(int t, int y, int x0, int x1) {
+    process_row_scalar(t, y, x0, x1);
+  }
+
+  void process_row_scalar(int /*t*/, int y, int x0, int x1) {
+    const double* up = u_.row(y + 1);
+    const double* dn = u_.row(y - 1);
+    double* c = u_.row(y);
+    const double omw = 1.0 - w_.relax;
+    for (int x = x0; x < x1; ++x) {
+      const double nb = w_.xm * c[x - 1] + w_.xp * c[x + 1] +
+                        w_.ym * dn[x] + w_.yp * up[x];
+      c[x] = omw * c[x] + w_.relax * nb;
+    }
+  }
+
+ private:
+  Weights w_;
+  Grid2D<double> u_;
+};
+
+}  // namespace cats

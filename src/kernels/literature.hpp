@@ -1,0 +1,94 @@
+#pragma once
+// Kernels matching the Section III-F literature comparison:
+//   A: 3D Laplace, 8 flops  — u' = a*u + b*(sum of 6 neighbors)
+//   B: 3D Jacobi,  8 flops  — same structure (weights differ)
+//   C: 3D Jacobi,  6 flops  — u' = c*(sum of 6 neighbors), no center term
+// All are slope-1 shared-weight star stencils; SumStar3D implements both
+// shapes via the WithCenter flag. D (2D FDTD) is kernels/fdtd2d.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid3d.hpp"
+#include "simd/vecd.hpp"
+
+namespace cats {
+
+template <bool WithCenter>
+class SumStar3D {
+ public:
+  SumStar3D(int width, int height, int depth, double center, double side)
+      : wc_(center), ws_(side),
+        buf_{Grid3D<double>(width, height, depth, 1),
+             Grid3D<double>(width, height, depth, 1)} {}
+
+  int width() const { return buf_[0].width(); }
+  int height() const { return buf_[0].height(); }
+  int depth() const { return buf_[0].depth(); }
+  int slope() const { return 1; }
+  /// 5 adds for the neighbor sum + 1 mul (+ mul/add for the center term).
+  double flops_per_point() const { return WithCenter ? 8.0 : 6.0; }
+  double state_doubles_per_point() const { return 1.0; }
+  double extra_cache_doubles_per_point() const { return 0.0; }
+
+  template <class F>
+  void init(F&& f, double bnd = 0.0) {
+    buf_[0].fill(bnd);
+    buf_[1].fill(bnd);
+    buf_[0].fill_interior(f);
+  }
+
+  const Grid3D<double>& grid_at(int t) const { return buf_[t & 1]; }
+
+  void copy_result_to(std::vector<double>& out, int T) const {
+    const Grid3D<double>& g = grid_at(T);
+    out.clear();
+    for (int z = 0; z < depth(); ++z)
+      for (int y = 0; y < height(); ++y)
+        for (int x = 0; x < width(); ++x) out.push_back(g.at(x, y, z));
+  }
+
+  void process_row(int t, int y, int z, int x0, int x1) {
+    const int x = span<simd::VecD>(t, y, z, x0, x1);
+    span<simd::ScalarD>(t, y, z, x, x1);
+  }
+
+  void process_row_scalar(int t, int y, int z, int x0, int x1) {
+    span<simd::ScalarD>(t, y, z, x0, x1);
+  }
+
+ private:
+  template <class V>
+  int span(int t, int y, int z, int x0, int x1) {
+    const Grid3D<double>& src = buf_[(t - 1) & 1];
+    Grid3D<double>& dst = buf_[t & 1];
+    const double* c = src.row(y, z);
+    const double* ym = src.row(y - 1, z);
+    const double* yp = src.row(y + 1, z);
+    const double* zm = src.row(y, z - 1);
+    const double* zp = src.row(y, z + 1);
+    double* o = dst.row(y, z);
+    const V ws = V::broadcast(ws_);
+    const V wc = V::broadcast(wc_);
+    int x = x0;
+    for (; x + V::width <= x1; x += V::width) {
+      V sum = V::load(c + x - 1) + V::load(c + x + 1);
+      sum = sum + V::load(ym + x);
+      sum = sum + V::load(yp + x);
+      sum = sum + V::load(zm + x);
+      sum = sum + V::load(zp + x);
+      V acc = ws * sum;
+      if constexpr (WithCenter) acc = acc + wc * V::load(c + x);
+      acc.store(o + x);
+    }
+    return x;
+  }
+
+  double wc_, ws_;
+  Grid3D<double> buf_[2];
+};
+
+using Laplace3D = SumStar3D<true>;   ///< kernel A (and B with other weights)
+using Jacobi3D6 = SumStar3D<false>;  ///< kernel C
+
+}  // namespace cats

@@ -1,0 +1,44 @@
+#include "simd/detect.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace cats::simd {
+
+CpuFeatures detect_cpu_features() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse2 = (edx >> 26) & 1;
+    f.avx = (ecx >> 28) & 1;
+    f.fma = (ecx >> 12) & 1;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1;
+    f.avx512f = (ebx >> 16) & 1;
+  }
+#endif
+  return f;
+}
+
+std::string cpu_features_string() {
+  const CpuFeatures f = detect_cpu_features();
+  std::string s;
+  auto add = [&s](bool on, const char* name) {
+    if (on) {
+      if (!s.empty()) s += ' ';
+      s += name;
+    }
+  };
+  add(f.sse2, "sse2");
+  add(f.avx, "avx");
+  add(f.avx2, "avx2");
+  add(f.fma, "fma");
+  add(f.avx512f, "avx512f");
+  if (s.empty()) s = "none";
+  return s;
+}
+
+}  // namespace cats::simd

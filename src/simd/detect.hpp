@@ -1,0 +1,22 @@
+#pragma once
+// Runtime CPU feature report (for bench headers and sanity checks).
+
+#include <string>
+
+namespace cats::simd {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// Query CPUID for vector ISA support.
+CpuFeatures detect_cpu_features();
+
+/// Human-readable summary, e.g. "sse2 avx avx2 fma avx512f".
+std::string cpu_features_string();
+
+}  // namespace cats::simd

@@ -1,0 +1,69 @@
+#include "sysinfo/cache_info.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace cats {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string s;
+  if (in) std::getline(in, s);
+  return s;
+}
+
+/// Parse "48K" / "2048K" / "1M" style sysfs size strings; 0 on failure.
+std::size_t parse_size(const std::string& s) {
+  if (s.empty()) return 0;
+  std::size_t n = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    n = n * 10 + static_cast<std::size_t>(s[i] - '0');
+    ++i;
+  }
+  if (i < s.size()) {
+    if (s[i] == 'K' || s[i] == 'k') n *= 1024;
+    if (s[i] == 'M' || s[i] == 'm') n *= 1024 * 1024;
+    if (s[i] == 'G' || s[i] == 'g') n *= 1024ull * 1024 * 1024;
+  }
+  return n;
+}
+
+}  // namespace
+
+CacheInfo detect_cache_info() {
+  CacheInfo info;
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + std::to_string(idx) + "/";
+    const std::string level_s = read_file(dir + "level");
+    if (level_s.empty()) break;
+    const std::string type = read_file(dir + "type");
+    if (type == "Instruction") continue;
+    const int level = std::atoi(level_s.c_str());
+    const std::size_t bytes = parse_size(read_file(dir + "size"));
+    if (bytes == 0) continue;
+    if (level == 1) info.l1d_bytes = bytes;
+    if (level == 2) {
+      info.l2_bytes = bytes;
+      const std::string ways = read_file(dir + "ways_of_associativity");
+      if (!ways.empty()) info.l2_ways = std::atoi(ways.c_str());
+    }
+    if (level == 3) info.l3_bytes = bytes;
+    const std::string line = read_file(dir + "coherency_line_size");
+    if (!line.empty()) info.line_bytes = std::atoi(line.c_str());
+  }
+  return info;
+}
+
+std::string cache_info_string(const CacheInfo& info) {
+  std::ostringstream os;
+  os << "L1d=" << info.l1d_bytes / 1024 << "KiB"
+     << " L2=" << info.l2_bytes / 1024 << "KiB";
+  if (info.l3_bytes) os << " L3=" << info.l3_bytes / 1024 << "KiB";
+  os << " line=" << info.line_bytes << "B";
+  return os.str();
+}
+
+}  // namespace cats

@@ -1,0 +1,42 @@
+#pragma once
+// Cache topology detection.
+//
+// CATS takes the size of the last private cache level as its central
+// parameter (Z in Eqs. 1-2). We read the Linux sysfs topology and let callers
+// override everything; the library never hard-codes a machine.
+
+#include <cstddef>
+#include <string>
+
+namespace cats {
+
+struct CacheLevel {
+  int level = 0;
+  std::size_t bytes = 0;
+  int ways = 0;
+  int line = 64;
+  bool unified = true;  // false = data-only is still usable for us
+};
+
+struct CacheInfo {
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l2_bytes = 256 * 1024;
+  std::size_t l3_bytes = 0;  // 0 when absent
+  int line_bytes = 64;
+  int l2_ways = 8;
+
+  /// Size of the last *private* cache level: what CATS should target.
+  /// Heuristic: L2 on multi-level machines (L3 is shared), L1d otherwise.
+  std::size_t last_private_bytes() const {
+    return l2_bytes ? l2_bytes : l1d_bytes;
+  }
+};
+
+/// Parse /sys/devices/system/cpu/cpu0/cache. Falls back to conservative
+/// defaults when sysfs is unavailable.
+CacheInfo detect_cache_info();
+
+/// One-line summary for bench headers.
+std::string cache_info_string(const CacheInfo& info);
+
+}  // namespace cats

@@ -1,0 +1,42 @@
+#pragma once
+// Sense-reversing barrier for a fixed set of persistent worker threads.
+//
+// The paper synchronizes all threads only between time chunks ("synchronize
+// threads" in Alg. 1/2), so the barrier is not on the critical path; we spin
+// briefly for the common fast case and yield afterwards so oversubscribed
+// runs (more threads than cores) still make progress.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace cats {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants) : n_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (++spins > kSpinLimit) std::this_thread::yield();
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 1024;
+  const int n_;
+  std::atomic<int> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace cats

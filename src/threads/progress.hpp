@@ -1,0 +1,56 @@
+#pragma once
+// Tile-to-tile synchronization cells.
+//
+// CATS replaces global barriers inside a time chunk with point-to-point
+// waits: a thread publishes the index of the last wavefront it completed and
+// its neighbor waits for that counter to pass a bound (split-tiling in
+// CATS1), or a diamond publishes a done flag that the two diamonds above it
+// wait on (CATS2). Cells are padded to a cache line to avoid false sharing.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace cats {
+
+/// Monotone progress counter: publish() with release, wait_ge() with acquire.
+struct alignas(64) ProgressCell {
+  std::atomic<std::int64_t> value{INT64_MIN};
+
+  void reset() { value.store(INT64_MIN, std::memory_order_relaxed); }
+
+  void publish(std::int64_t v) { value.store(v, std::memory_order_release); }
+
+  std::int64_t load() const { return value.load(std::memory_order_acquire); }
+
+  /// Blocks until the published value reaches `bound`; returns the number of
+  /// spin/yield iterations (0 = the condition already held).
+  std::int64_t wait_ge(std::int64_t bound) const {
+    std::int64_t spins = 0;
+    while (value.load(std::memory_order_acquire) < bound) {
+      if (++spins > kSpinLimit) std::this_thread::yield();
+    }
+    return spins;
+  }
+
+  static constexpr int kSpinLimit = 1024;
+};
+
+/// One-shot done flag (per diamond tile).
+struct DoneFlag {
+  std::atomic<uint8_t> done{0};
+
+  void set() { done.store(1, std::memory_order_release); }
+  bool test() const { return done.load(std::memory_order_acquire) != 0; }
+
+  /// Blocks until set; returns the spin/yield iteration count (0 = no wait).
+  std::int64_t wait() const {
+    std::int64_t spins = 0;
+    while (!test()) {
+      if (++spins > ProgressCell::kSpinLimit) std::this_thread::yield();
+    }
+    return spins;
+  }
+};
+
+}  // namespace cats

@@ -1,0 +1,78 @@
+#include "threads/thread_pool.hpp"
+
+#include <cassert>
+
+namespace cats {
+
+ThreadPool::ThreadPool(int threads) : n_(threads) {
+  assert(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(n_ - 1));
+  for (int tid = 1; tid < n_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& job) {
+  if (n_ == 1) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard lock(m_);
+    job_ = &job;
+    remaining_ = n_ - 1;
+    error_ = nullptr;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  try {
+    job(0);
+  } catch (...) {
+    // Keep the pool consistent: wait for workers even if participant 0 threw.
+    std::unique_lock lock(m_);
+    cv_done_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+    throw;
+  }
+
+  std::unique_lock lock(m_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void ThreadPool::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock lock(m_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    try {
+      (*job)(tid);
+    } catch (...) {
+      std::lock_guard lock(m_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(m_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace cats

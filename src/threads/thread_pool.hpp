@@ -1,0 +1,51 @@
+#pragma once
+// Persistent worker pool.
+//
+// The paper starts threads once and keeps them for the whole computation
+// (Section II-B: "the threads are started once at the beginning and are
+// persistent throughout the computation"). run() executes job(tid) on every
+// participant; the calling thread acts as participant 0 so a 1-thread pool
+// spawns nothing.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace cats {
+
+class ThreadPool {
+ public:
+  /// Creates `threads - 1` workers; the caller is participant 0.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return n_; }
+
+  /// Run job(tid) for tid in [0, size()); returns when all are finished.
+  /// Exceptions thrown by workers are rethrown on the caller (first one wins).
+  void run(const std::function<void(int)>& job);
+
+ private:
+  void worker_loop(int tid);
+
+  int n_;
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace cats

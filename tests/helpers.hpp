@@ -1,0 +1,49 @@
+#pragma once
+// Shared test utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace cats::test {
+
+/// Deterministic, non-trivial initial data (no symmetry, full mantissas).
+inline double init2d(int x, int y) {
+  return std::sin(0.37 * x + 0.21 * y) + 0.001 * x - 0.002 * y;
+}
+
+inline double init3d(int x, int y, int z) {
+  return std::sin(0.31 * x + 0.23 * y + 0.17 * z) + 0.001 * (x - y + z);
+}
+
+/// Deterministic band coefficients (diagonally dominant-ish, nonsymmetric).
+inline double band_coeff(int b, int x, int y) {
+  return (b == 0 ? 0.5 : 0.1) * (1.0 + 0.01 * std::sin(0.13 * x + 0.29 * y + b));
+}
+
+inline double band_coeff3(int b, int x, int y, int z) {
+  return (b == 0 ? 0.5 : 0.07) *
+         (1.0 + 0.01 * std::sin(0.13 * x + 0.29 * y + 0.19 * z + b));
+}
+
+/// Bit-exact comparison of two result dumps.
+inline void expect_bit_equal(const std::vector<double>& got,
+                             const std::vector<double>& want,
+                             const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  std::size_t mismatches = 0;
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::memcmp(&got[i], &want[i], sizeof(double)) != 0) {
+      if (mismatches == 0) first = i;
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << label << ": first mismatch at " << first
+                            << " got " << got[first] << " want " << want[first]
+                            << " (" << mismatches << " total)";
+}
+
+}  // namespace cats::test

@@ -1,0 +1,105 @@
+// Box (Moore-neighborhood) kernel tests: point semantics and scheme
+// equivalence — these have dependencies on the full |dx|,|dy|,|dz| <= s box,
+// the strongest shape the schemes guarantee.
+
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "core/run.hpp"
+#include "helpers.hpp"
+#include "kernels/box2d.hpp"
+#include "kernels/box3d.hpp"
+
+using namespace cats;
+using cats::test::expect_bit_equal;
+
+TEST(Box2D, SingleStepMatchesHandComputation) {
+  const int W = 8, H = 6;
+  const auto w = default_box2d_weights<1>();
+  Box2D<1> k(W, H, w);
+  const double bnd = 0.7;
+  k.init(cats::test::init2d, bnd);
+  auto u0 = [&](int x, int y) {
+    if (x < 0 || x >= W || y < 0 || y >= H) return bnd;
+    return cats::test::init2d(x, y);
+  };
+  for (int y = 0; y < H; ++y) k.process_row_scalar(1, y, 0, W);
+  for (int y = 0; y < H; ++y)
+    for (int x = 0; x < W; ++x) {
+      double e = 0.0;
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+          e += w[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))] *
+               u0(x + dx, y + dy);
+      EXPECT_DOUBLE_EQ(k.grid_at(1).at(x, y), e);
+    }
+}
+
+TEST(Box2D, AllSchemesBitExact) {
+  auto make = [](int S_sel) {
+    (void)S_sel;
+    Box2D<2> k(41, 33, default_box2d_weights<2>());
+    k.init(cats::test::init2d, 0.1);
+    return k;
+  };
+  auto ref = make(0);
+  run_reference(ref, 9);
+  std::vector<double> want;
+  ref.copy_result_to(want, 9);
+  for (Scheme s : {Scheme::Naive, Scheme::Cats1, Scheme::Cats2,
+                   Scheme::PlutoLike, Scheme::Auto}) {
+    auto k = make(0);
+    RunOptions opt;
+    opt.scheme = s;
+    opt.threads = 4;
+    opt.cache_bytes = 24 * 1024;
+    run(k, 9, opt);
+    std::vector<double> got;
+    k.copy_result_to(got, 9);
+    expect_bit_equal(got, want, scheme_name(s));
+  }
+}
+
+TEST(Box3D, AllSchemesBitExact) {
+  auto make = [] {
+    Box3D<1> k(17, 13, 15, default_box3d_weights<1>());
+    k.init(cats::test::init3d, -0.2);
+    return k;
+  };
+  auto ref = make();
+  run_reference(ref, 6);
+  std::vector<double> want;
+  ref.copy_result_to(want, 6);
+  for (Scheme s : {Scheme::Naive, Scheme::Cats1, Scheme::Cats2, Scheme::Cats3,
+                   Scheme::PlutoLike}) {
+    auto k = make();
+    RunOptions opt;
+    opt.scheme = s;
+    opt.threads = 3;
+    opt.cache_bytes = 16 * 1024;
+    run(k, 6, opt);
+    std::vector<double> got;
+    k.copy_result_to(got, 6);
+    expect_bit_equal(got, want, scheme_name(s));
+  }
+}
+
+TEST(Box3D, Metadata) {
+  EXPECT_EQ(Box3D<1>::kPoints, 27);
+  Box3D<1> k(4, 4, 4, default_box3d_weights<1>());
+  EXPECT_DOUBLE_EQ(k.flops_per_point(), 53.0);
+  EXPECT_EQ(Box2D<2>::kPoints, 25);
+}
+
+TEST(Box2D, NormalizedWeightsConserveConstantField) {
+  // A constant field with matching boundary is a fixed point of any
+  // normalized smoothing stencil.
+  Box2D<1> k(24, 18, default_box2d_weights<1>());
+  k.init([](int, int) { return 3.25; }, 3.25);
+  RunOptions opt;
+  opt.threads = 2;
+  run(k, 12, opt);
+  for (int y = 0; y < 18; ++y)
+    for (int x = 0; x < 24; ++x)
+      EXPECT_NEAR(k.grid_at(12).at(x, y), 3.25, 1e-12);
+}

@@ -1,0 +1,91 @@
+// Cache model tests: LRU eviction, set mapping, counters.
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache_model.hpp"
+
+using cats::CacheModel;
+
+TEST(CacheModel, GeometryDerivedFromSizes) {
+  CacheModel c(64 * 1024, 8, 64);
+  EXPECT_EQ(c.size_bytes(), 64u * 1024);
+  EXPECT_EQ(c.ways(), 8);
+  EXPECT_EQ(c.line_bytes(), 64);
+}
+
+TEST(CacheModel, ColdMissThenHit) {
+  CacheModel c(4096, 4, 64);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheModel, LruEvictsOldest) {
+  // 1 set x 2 ways x 64B line: the set holds two lines.
+  CacheModel c(128, 2, 64);
+  c.access(0 * 64);    // miss, {0}
+  c.access(1 * 64);    // miss, {0,1}
+  c.access(0 * 64);    // hit, 0 is now most recent
+  c.access(2 * 64);    // miss, evicts 1
+  EXPECT_TRUE(c.access(0 * 64));
+  EXPECT_FALSE(c.access(1 * 64));  // was evicted
+}
+
+TEST(CacheModel, SetMappingSeparatesConflicts) {
+  // 2 sets x 1 way: even lines -> set 0, odd -> set 1.
+  CacheModel c(128, 1, 64);
+  c.access(0);        // set 0
+  c.access(64);       // set 1
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));
+  c.access(128);      // set 0, evicts line 0
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // set 1 untouched
+}
+
+TEST(CacheModel, AccessRangeTouchesEveryLine) {
+  CacheModel c(1 << 20, 16, 64);
+  c.access_range(10, 300);  // spans lines 0..4 (bytes 10..309)
+  EXPECT_EQ(c.misses(), 5u);
+  c.access_range(10, 300);
+  EXPECT_EQ(c.hits(), 5u);
+  c.access_range(100, 0);  // empty range: no accesses
+  EXPECT_EQ(c.accesses(), 10u);
+}
+
+TEST(CacheModel, StreamingWorkingSetLargerThanCacheAlwaysMisses) {
+  CacheModel c(4096, 4, 64);  // 64 lines
+  const int lines = 256;
+  for (int pass = 0; pass < 3; ++pass)
+    for (int l = 0; l < lines; ++l) c.access(static_cast<std::uint64_t>(l) * 64);
+  // LRU + sequential sweep larger than capacity: every access misses.
+  EXPECT_EQ(c.misses(), 3u * lines);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(CacheModel, WorkingSetFitsAfterWarmup) {
+  CacheModel c(4096, 4, 64);  // 64 lines
+  for (int pass = 0; pass < 4; ++pass)
+    for (int l = 0; l < 32; ++l) c.access(static_cast<std::uint64_t>(l) * 64);
+  EXPECT_EQ(c.misses(), 32u);        // compulsory only
+  EXPECT_EQ(c.hits(), 3u * 32);
+}
+
+TEST(CacheModel, FlushClearsContentsAndCounters) {
+  CacheModel c(4096, 4, 64);
+  c.access(0);
+  c.access(0);
+  c.flush();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(CacheModel, MissBytesCountsLines) {
+  CacheModel c(4096, 4, 64);
+  c.access(0);
+  c.access(64);
+  EXPECT_EQ(c.miss_bytes(), 128u);
+}

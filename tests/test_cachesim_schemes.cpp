@@ -1,0 +1,131 @@
+// "Cache accurate" verification: replay each scheme's address stream through
+// the LRU cache model and check the paper's traffic claims quantitatively —
+// the naive scheme streams the whole domain every sweep while CATS pays
+// roughly one domain transfer per time chunk.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cachesim/cache_model.hpp"
+#include "cachesim/trace_kernel.hpp"
+#include "core/run.hpp"
+
+using namespace cats;
+
+namespace {
+
+/// Miss bytes of one scheme run over a W x H (x D) trace domain.
+std::uint64_t simulate_2d(Scheme scheme, int W, int H, int T,
+                          std::size_t cache_bytes, int bands = 0,
+                          int tz_override = 0, int bz_override = 0) {
+  CacheModel cache(cache_bytes, 8, 64);
+  TraceStar2D k(W, H, 1, bands, &cache);
+  RunOptions opt;
+  opt.scheme = scheme;
+  opt.threads = 1;  // the cache model is single-threaded by design
+  opt.cache_bytes = cache_bytes;
+  opt.tz_override = tz_override;
+  opt.bz_override = bz_override;
+  run(k, T, opt);
+  return cache.miss_bytes();
+}
+
+std::uint64_t simulate_3d(Scheme scheme, int W, int H, int D, int T,
+                          std::size_t cache_bytes, int bands = 0) {
+  CacheModel cache(cache_bytes, 8, 64);
+  TraceStar3D k(W, H, D, 1, bands, &cache);
+  RunOptions opt;
+  opt.scheme = scheme;
+  opt.threads = 1;
+  opt.cache_bytes = cache_bytes;
+  run(k, T, opt);
+  return cache.miss_bytes();
+}
+
+}  // namespace
+
+TEST(CacheSim, NaiveStreamsDomainEverySweep) {
+  // 512 x 512 doubles = 2 MiB per buffer >> 128 KiB cache.
+  const int W = 512, H = 512, T = 10;
+  const std::size_t Z = 128 * 1024;
+  const std::uint64_t miss = simulate_2d(Scheme::Naive, W, H, T, Z);
+  const double ideal = static_cast<double>(T) * 2.0 * W * H * 8.0;  // rd+wr
+  EXPECT_GE(static_cast<double>(miss), 0.9 * ideal);
+  EXPECT_LE(static_cast<double>(miss), 1.4 * ideal);
+}
+
+TEST(CacheSim, Cats1PaysOncePerChunk) {
+  const int W = 512, H = 512, T = 20;
+  const std::size_t Z = 128 * 1024;
+  const DomainShape d{static_cast<std::int64_t>(W) * H, H, W, 2};
+  const int tz = compute_tz(Z, d, {1, 2.8});
+  ASSERT_GE(tz, 8) << "test assumes a deep chunk";
+
+  const std::uint64_t naive = simulate_2d(Scheme::Naive, W, H, T, Z);
+  const std::uint64_t cats1 = simulate_2d(Scheme::Cats1, W, H, T, Z);
+  // Ideal CATS1 traffic: one read+write of the domain per chunk.
+  const double chunks = std::ceil(static_cast<double>(T) / tz);
+  const double ideal = chunks * 2.0 * W * H * 8.0;
+  EXPECT_GE(static_cast<double>(cats1), 0.9 * ideal);
+  EXPECT_LE(static_cast<double>(cats1), 2.0 * ideal);  // + skewed borders
+  // And it must beat naive by a large factor (close to T / chunks).
+  EXPECT_LT(static_cast<double>(cats1), static_cast<double>(naive) / 4.0);
+}
+
+TEST(CacheSim, Cats2ReducesTrafficIn2D) {
+  const int W = 512, H = 512, T = 20;
+  const std::size_t Z = 128 * 1024;
+  const std::uint64_t naive = simulate_2d(Scheme::Naive, W, H, T, Z);
+  const std::uint64_t cats2 = simulate_2d(Scheme::Cats2, W, H, T, Z);
+  EXPECT_LT(static_cast<double>(cats2), static_cast<double>(naive) / 3.0);
+}
+
+TEST(CacheSim, Cats2ReducesTrafficIn3D) {
+  // 64^3 doubles = 2 MiB per buffer >> 96 KiB cache; CATS1 would not fit a
+  // single slice stack, CATS2 diamonds must still cut traffic.
+  const int W = 64, H = 64, D = 64, T = 12;
+  const std::size_t Z = 96 * 1024;
+  const std::uint64_t naive = simulate_3d(Scheme::Naive, W, H, D, T, Z);
+  const std::uint64_t cats2 = simulate_3d(Scheme::Cats2, W, H, D, T, Z);
+  EXPECT_LT(static_cast<double>(cats2), static_cast<double>(naive) / 2.0);
+}
+
+TEST(CacheSim, BandedMatrixTrafficDominatedByCoefficients) {
+  const int W = 256, H = 256, T = 8, NS = 5;
+  const std::size_t Z = 64 * 1024;
+  const std::uint64_t naive = simulate_2d(Scheme::Naive, W, H, T, Z, NS);
+  // rd + wr + NS coefficient streams per sweep.
+  const double ideal = static_cast<double>(T) * (2.0 + NS) * W * H * 8.0;
+  EXPECT_GE(static_cast<double>(naive), 0.9 * ideal);
+  EXPECT_LE(static_cast<double>(naive), 1.4 * ideal);
+  // CATS still wins, but the coefficient streams cap the gain (Section III-B:
+  // "the additional data transfers let the limitations of the system
+  // bandwidth come into play again").
+  const std::uint64_t cats = simulate_2d(Scheme::Auto, W, H, T, Z, NS);
+  EXPECT_LT(cats, naive);
+}
+
+TEST(CacheSim, UndersizedChunkWastesTraffic) {
+  // Ablation: forcing TZ far above the Eq. 1 value (wavefront no longer fits)
+  // must cost extra misses vs. the formula's choice.
+  const int W = 512, H = 512, T = 16;
+  const std::size_t Z = 128 * 1024;
+  const DomainShape d{static_cast<std::int64_t>(W) * H, H, W, 2};
+  const int tz_formula = compute_tz(Z, d, {1, 2.8});
+  const std::uint64_t at_formula =
+      simulate_2d(Scheme::Cats1, W, H, T, Z, 0, tz_formula);
+  const std::uint64_t oversized =
+      simulate_2d(Scheme::Cats1, W, H, T, Z, 0, 4 * tz_formula);
+  EXPECT_GT(static_cast<double>(oversized), 1.5 * static_cast<double>(at_formula));
+}
+
+TEST(CacheSim, SmallDomainFitsAndEveryoneIsCheap) {
+  // Two buffers fit in cache: even the naive scheme only pays compulsory
+  // misses (the paper's 0.5-million-element knee).
+  const int W = 64, H = 64, T = 10;
+  const std::size_t Z = 512 * 1024;
+  const std::uint64_t naive = simulate_2d(Scheme::Naive, W, H, T, Z);
+  const double compulsory = 2.0 * W * H * 8.0;
+  EXPECT_LE(static_cast<double>(naive), 2.5 * compulsory);
+}

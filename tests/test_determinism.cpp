@@ -1,0 +1,96 @@
+// Determinism under concurrency: repeated multi-threaded runs of every
+// scheme must produce bit-identical results even though thread interleaving
+// differs run to run — the synchronization, not luck, must order the
+// computation.
+
+#include <gtest/gtest.h>
+
+#include "core/run.hpp"
+#include "helpers.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const3d.hpp"
+#include "kernels/fdtd2d.hpp"
+
+using namespace cats;
+using cats::test::expect_bit_equal;
+
+namespace {
+
+template <class MakeKernel>
+void check_repeatable(MakeKernel&& make, int T, Scheme s, const char* label) {
+  std::vector<double> first;
+  for (int rep = 0; rep < 6; ++rep) {
+    auto k = make();
+    RunOptions opt;
+    opt.scheme = s;
+    opt.threads = 4;  // oversubscribed on this host: max interleaving churn
+    opt.cache_bytes = 16 * 1024;
+    run(k, T, opt);
+    std::vector<double> got;
+    k.copy_result_to(got, T);
+    if (rep == 0)
+      first = got;
+    else
+      expect_bit_equal(got, first, label);
+  }
+}
+
+}  // namespace
+
+TEST(Determinism, Const2DAllSchemes) {
+  for (Scheme s : {Scheme::Naive, Scheme::Cats1, Scheme::Cats2,
+                   Scheme::PlutoLike}) {
+    check_repeatable(
+        [] {
+          ConstStar2D<1> k(73, 59, default_star2d_weights<1>());
+          k.init(cats::test::init2d, 0.2);
+          return k;
+        },
+        14, s, scheme_name(s));
+  }
+}
+
+TEST(Determinism, Const3DCatsSchemes) {
+  for (Scheme s : {Scheme::Cats1, Scheme::Cats2, Scheme::Cats3}) {
+    check_repeatable(
+        [] {
+          ConstStar3D<1> k(21, 17, 19, default_star3d_weights<1>());
+          k.init(cats::test::init3d, -0.1);
+          return k;
+        },
+        9, s, scheme_name(s));
+  }
+}
+
+TEST(Determinism, FdtdUnderCats2) {
+  check_repeatable(
+      [] {
+        Fdtd2D k(47, 39);
+        k.init([](int x, int y) {
+          return std::tuple{0.01 * x, 0.02 * y, std::sin(0.2 * x - 0.1 * y)};
+        });
+        return k;
+      },
+      11, Scheme::Cats2, "fdtd");
+}
+
+TEST(Determinism, BackToBackRunsOnSameKernel) {
+  // Consecutive run() calls continue the evolution exactly like one long run
+  // when the intermediate T is even (buffer parity returns to 0).
+  ConstStar2D<1> once(64, 48, default_star2d_weights<1>());
+  once.init(cats::test::init2d);
+  RunOptions opt;
+  opt.threads = 2;
+  opt.cache_bytes = 32 * 1024;
+  run(once, 20, opt);
+  std::vector<double> want;
+  once.copy_result_to(want, 20);
+
+  ConstStar2D<1> twice(64, 48, default_star2d_weights<1>());
+  twice.init(cats::test::init2d);
+  run(twice, 10, opt);  // even: result parity 0 = next run's t=0 buffer
+  run(twice, 10, opt);
+  std::vector<double> got;
+  twice.copy_result_to(got, 10);
+  expect_bit_equal(got, want, "split-run");
+}

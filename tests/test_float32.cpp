@@ -1,0 +1,85 @@
+// Single-precision kernel tests: bit-exact scheme equivalence in float and
+// the element-size effect on Eq. 1/2.
+
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "core/run.hpp"
+#include "helpers.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const2d_f32.hpp"
+
+using namespace cats;
+using cats::test::expect_bit_equal;
+
+namespace {
+
+FloatStar2D<1>::Weights weights_f32() {
+  FloatStar2D<1>::Weights w;
+  w.center = 0.5f;
+  w.xm[0] = 0.13f;
+  w.xp[0] = 0.12f;
+  w.ym[0] = 0.14f;
+  w.yp[0] = 0.11f;
+  return w;
+}
+
+std::vector<double> run_f32(int W, int H, int T, Scheme s, int threads) {
+  FloatStar2D<1> k(W, H, weights_f32());
+  k.init([](int x, int y) { return static_cast<float>(cats::test::init2d(x, y)); },
+         0.25f);
+  RunOptions opt;
+  opt.scheme = s;
+  opt.threads = threads;
+  opt.cache_bytes = 32 * 1024;
+  run(k, T, opt);
+  std::vector<double> out;
+  k.copy_result_to(out, T);
+  return out;
+}
+
+}  // namespace
+
+TEST(Float32, AllSchemesBitExactVsReference) {
+  FloatStar2D<1> ref(57, 43, weights_f32());
+  ref.init([](int x, int y) { return static_cast<float>(cats::test::init2d(x, y)); },
+           0.25f);
+  run_reference(ref, 15);
+  std::vector<double> want;
+  ref.copy_result_to(want, 15);
+  for (Scheme s : {Scheme::Naive, Scheme::Cats1, Scheme::Cats2,
+                   Scheme::PlutoLike, Scheme::Auto}) {
+    for (int threads : {1, 4}) {
+      expect_bit_equal(run_f32(57, 43, 15, s, threads), want, scheme_name(s));
+    }
+  }
+}
+
+TEST(Float32, ElementBytesTrait) {
+  FloatStar2D<1> f(8, 8, weights_f32());
+  EXPECT_DOUBLE_EQ(kernel_element_bytes(f), 4.0);
+  ConstStar2D<1> d(8, 8, default_star2d_weights<1>());
+  EXPECT_DOUBLE_EQ(kernel_element_bytes(d), 8.0);  // default trait
+}
+
+TEST(Float32, SmallerElementsDeepenTheChunk) {
+  // Same domain and cache: float halves the bytes per wavefront point, so
+  // Eq. 1 yields roughly twice the chunk height.
+  const DomainShape d{1000 * 1000, 1000, 1000, 2};
+  const std::size_t z = 1 << 20;
+  const int tz_double = compute_tz(z, d, {1, 2.8, 8.0});
+  const int tz_float = compute_tz(z, d, {1, 2.8, 4.0});
+  EXPECT_NEAR(tz_float, 2 * tz_double, 1);
+}
+
+TEST(Float32, PlanUsesElementSize) {
+  FloatStar2D<1> f(1000, 1000, weights_f32());
+  ConstStar2D<1> dk(1000, 1000, default_star2d_weights<1>());
+  RunOptions opt;
+  opt.cache_bytes = 1 << 20;
+  const SchemeChoice cf = plan(f, 1000, opt);
+  const SchemeChoice cd = plan(dk, 1000, opt);
+  ASSERT_EQ(cf.scheme, Scheme::Cats1);
+  ASSERT_EQ(cd.scheme, Scheme::Cats1);
+  EXPECT_NEAR(cf.tz, 2 * cd.tz, 2);
+}

@@ -1,0 +1,199 @@
+// Geometry unit tests: skew arithmetic, CATS1 parallelogram decomposition,
+// CATS2 diamond partition. These check exact coverage (every space-time cell
+// in exactly one tile/diamond) and the dependency claims the schemes rely on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/geometry.hpp"
+
+using namespace cats;
+
+TEST(FloorDiv, MatchesMathematicalFloor) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(0, 5), 0);
+  EXPECT_EQ(floor_div(-1, 5), -1);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+}
+
+TEST(Range, IntersectAndEmpty) {
+  EXPECT_TRUE((Range{3, 2}).empty());
+  EXPECT_FALSE((Range{3, 3}).empty());
+  const Range r = intersect({0, 10}, {5, 20});
+  EXPECT_EQ(r.lo, 5);
+  EXPECT_EQ(r.hi, 10);
+  EXPECT_TRUE(intersect({0, 4}, {5, 9}).empty());
+}
+
+namespace {
+
+/// Every (p, tau) cell of the chunk appears in exactly one (tile, wavefront).
+void check_cats1_coverage(int s, int tz, std::int64_t extent, int tiles) {
+  const Cats1Chunk c{s, tz, extent, tiles};
+  std::map<std::pair<std::int64_t, std::int64_t>, int> seen;
+  for (int i = 0; i < tiles; ++i) {
+    const Range ur = c.tile_u_range(i);
+    std::int64_t prev_u = INT64_MIN;
+    for (std::int64_t u = ur.lo; u <= ur.hi; ++u) {
+      EXPECT_GT(u, prev_u);
+      prev_u = u;
+      const Range taus = c.tau_range(i, u);
+      for (std::int64_t tau = taus.lo; tau <= taus.hi; ++tau) {
+        const std::int64_t p = u - s * tau;
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, extent);
+        ASSERT_GE(tau, 0);
+        ASSERT_LT(tau, tz);
+        ++seen[{p, tau}];
+      }
+    }
+  }
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(extent) * tz);
+  for (const auto& [cell, count] : seen) EXPECT_EQ(count, 1)
+      << "cell p=" << cell.first << " tau=" << cell.second;
+}
+
+}  // namespace
+
+TEST(Cats1Chunk, CoversEveryCellOnce) {
+  check_cats1_coverage(1, 5, 40, 3);
+  check_cats1_coverage(1, 1, 17, 2);
+  check_cats1_coverage(2, 4, 33, 4);
+  check_cats1_coverage(3, 7, 50, 1);
+  check_cats1_coverage(1, 12, 13, 5);  // chunk taller than tiles are wide
+}
+
+TEST(Cats1Chunk, TileWidthsEqualWithinOne) {
+  const Cats1Chunk c{1, 10, 1000, 7};
+  const std::int64_t span = c.extent - c.v_min();
+  for (int i = 0; i < c.tiles; ++i) {
+    const std::int64_t w = c.tile_v_lo(i + 1) - c.tile_v_lo(i);
+    EXPECT_LE(std::abs(w - span / c.tiles), 1);
+  }
+  EXPECT_EQ(c.tile_v_lo(0), c.v_min());
+  EXPECT_EQ(c.tile_v_lo(c.tiles), c.extent);
+}
+
+TEST(Cats1Chunk, DependenciesStayWithinRightNeighbor) {
+  // For every computed cell, each stencil input at tau-1 must lie in the same
+  // tile or the right neighbor at a wavefront <= u (the split-tiling wait
+  // condition), never in the left neighbor.
+  const int s = 2;
+  const Cats1Chunk c{s, 6, 64, 4};
+  auto tile_of = [&](std::int64_t v) {
+    for (int i = 0; i < c.tiles; ++i)
+      if (v >= c.tile_v_lo(i) && v < c.tile_v_lo(i + 1)) return i;
+    return -1;
+  };
+  for (int i = 0; i < c.tiles; ++i) {
+    const Range ur = c.tile_u_range(i);
+    for (std::int64_t u = ur.lo; u <= ur.hi; ++u) {
+      const Range taus = c.tau_range(i, u);
+      for (std::int64_t tau = taus.lo; tau <= taus.hi; ++tau) {
+        if (tau == 0) continue;
+        const std::int64_t p = u - s * tau;
+        for (int d = -s; d <= s; ++d) {
+          const std::int64_t pp = p + d;
+          if (pp < 0 || pp >= c.extent) continue;  // boundary value
+          const std::int64_t up = pp + s * (tau - 1);
+          const std::int64_t vp = pp - s * (tau - 1);
+          EXPECT_LE(up, u);
+          const int owner = tile_of(vp);
+          ASSERT_GE(owner, 0);
+          EXPECT_GE(owner, i);      // never the left neighbor
+          EXPECT_LE(owner, i + 1);  // at most the right neighbor
+        }
+      }
+    }
+  }
+}
+
+TEST(DiamondTiling, PartitionsPlaneExactly) {
+  for (int s : {1, 2, 3}) {
+    for (std::int64_t bz : {2ll * s, 6ll, 10ll}) {
+      if (bz < 2 * s) continue;
+      const DiamondTiling dt{s, bz, 37, 1, 23};
+      std::map<std::pair<std::int64_t, std::int64_t>, int> owner_count;
+      const Range ir = dt.i_range(), jr = dt.j_range();
+      for (std::int64_t i = ir.lo; i <= ir.hi; ++i) {
+        for (std::int64_t j = jr.lo; j <= jr.hi; ++j) {
+          const Range tr = dt.t_range(i, j);
+          for (std::int64_t t = tr.lo; t <= tr.hi; ++t) {
+            const Range pr = dt.p_range(i, j, t);
+            for (std::int64_t p = pr.lo; p <= pr.hi; ++p) {
+              ++owner_count[{p, t}];
+              // The closed-form cell->diamond map agrees.
+              EXPECT_EQ(dt.i_of(p, t), i);
+              EXPECT_EQ(dt.j_of(p, t), j);
+            }
+          }
+        }
+      }
+      ASSERT_EQ(owner_count.size(), static_cast<std::size_t>(37) * 23)
+          << "s=" << s << " bz=" << bz;
+      for (const auto& [cell, count] : owner_count) EXPECT_EQ(count, 1);
+    }
+  }
+}
+
+TEST(DiamondTiling, DependenciesGoToTheTwoDiamondsBelow) {
+  const int s = 2;
+  const DiamondTiling dt{s, 8, 50, 1, 20};
+  for (std::int64_t p = 0; p < dt.extent; ++p) {
+    for (std::int64_t t = dt.t_begin + 1; t <= dt.t_end; ++t) {
+      const std::int64_t i = dt.i_of(p, t), j = dt.j_of(p, t);
+      for (int d = -s; d <= s; ++d) {
+        const std::int64_t pp = p + d;
+        if (pp < 0 || pp >= dt.extent) continue;
+        const std::int64_t id = dt.i_of(pp, t - 1), jd = dt.j_of(pp, t - 1);
+        // Input lies in this diamond, (i-1, j), or (i, j+1) — nothing else.
+        const bool same = (id == i && jd == j);
+        const bool below_left = (id == i - 1 && jd == j);
+        const bool below_right = (id == i && jd == j + 1);
+        EXPECT_TRUE(same || below_left || below_right)
+            << "p=" << p << " t=" << t << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(DiamondTiling, RowIndexOrdersTime) {
+  const DiamondTiling dt{1, 6, 30, 1, 18};
+  // Cells in a higher diamond row never have a smaller t than every cell of
+  // a lower row's diamond they depend on; sanity-check monotonicity of the
+  // row -> min t mapping.
+  std::map<std::int64_t, std::int64_t> row_min_t;
+  const Range ir = dt.i_range(), jr = dt.j_range();
+  for (std::int64_t i = ir.lo; i <= ir.hi; ++i)
+    for (std::int64_t j = jr.lo; j <= jr.hi; ++j) {
+      const Range tr = dt.t_range(i, j);
+      if (tr.empty()) continue;
+      const std::int64_t r = DiamondTiling::row_of(i, j);
+      auto it = row_min_t.find(r);
+      if (it == row_min_t.end() || tr.lo < it->second) row_min_t[r] = tr.lo;
+    }
+  std::int64_t prev = INT64_MIN;
+  for (const auto& [r, tmin] : row_min_t) {
+    EXPECT_GE(tmin, prev);
+    prev = tmin;
+  }
+}
+
+TEST(DiamondTiling, NonemptyMatchesEnumeration) {
+  const DiamondTiling dt{1, 4, 9, 1, 7};
+  const Range ir = dt.i_range(), jr = dt.j_range();
+  for (std::int64_t i = ir.lo; i <= ir.hi; ++i)
+    for (std::int64_t j = jr.lo; j <= jr.hi; ++j) {
+      bool any = false;
+      const Range tr = dt.t_range(i, j);
+      for (std::int64_t t = tr.lo; t <= tr.hi; ++t)
+        if (!dt.p_range(i, j, t).empty()) any = true;
+      EXPECT_EQ(dt.nonempty(i, j), any);
+    }
+}

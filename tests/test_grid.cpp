@@ -1,0 +1,103 @@
+// Grid substrate tests: alignment, indexing, ghost handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+
+using namespace cats;
+
+TEST(AlignedBuffer, IsAlignedAndSized) {
+  AlignedBuffer<double> b(1001);
+  EXPECT_EQ(b.size(), 1001u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kAlign, 0u);
+}
+
+TEST(AlignedBuffer, EmptyIsSafe) {
+  AlignedBuffer<double> b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Grid2D, RowStartsAligned) {
+  for (int ghost : {0, 1, 2, 3}) {
+    Grid2D<double> g(37, 11, ghost);
+    for (int y = -ghost; y < g.height() + ghost; ++y) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(g.row(y)) % kAlign, 0u)
+          << "ghost=" << ghost << " y=" << y;
+    }
+  }
+}
+
+TEST(Grid2D, IndexingRoundTrips) {
+  Grid2D<double> g(13, 7, 2);
+  double v = 0.0;
+  for (int y = -2; y < 9; ++y)
+    for (int x = -2; x < 15; ++x) g.at(x, y) = v += 1.0;
+  v = 0.0;
+  for (int y = -2; y < 9; ++y)
+    for (int x = -2; x < 15; ++x) EXPECT_EQ(g.at(x, y), v += 1.0);
+}
+
+TEST(Grid2D, GhostFillLeavesInterior) {
+  Grid2D<double> g(8, 5, 2);
+  g.fill_interior([](int x, int y) { return x * 100.0 + y; });
+  g.fill_ghost(-1.0);
+  for (int y = -2; y < 7; ++y)
+    for (int x = -2; x < 10; ++x) {
+      if (x >= 0 && x < 8 && y >= 0 && y < 5)
+        EXPECT_EQ(g.at(x, y), x * 100.0 + y);
+      else
+        EXPECT_EQ(g.at(x, y), -1.0);
+    }
+}
+
+TEST(Grid2D, RowPointerMatchesAt) {
+  Grid2D<double> g(16, 4, 1);
+  g.fill_interior([](int x, int y) { return x + 1000.0 * y; });
+  for (int y = 0; y < 4; ++y) {
+    const double* r = g.row(y);
+    for (int x = -1; x < 17; ++x) EXPECT_EQ(r[x], g.at(x, y));
+  }
+}
+
+TEST(Grid3D, RowStartsAlignedAndIndexed) {
+  Grid3D<double> g(19, 5, 4, 2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(g.row(0, 0)) % kAlign, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(g.row(3, 2)) % kAlign, 0u);
+  g.fill_interior([](int x, int y, int z) { return x + 100.0 * y + 10000.0 * z; });
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 19; ++x)
+        EXPECT_EQ(g.row(y, z)[x], x + 100.0 * y + 10000.0 * z);
+}
+
+TEST(Grid3D, GhostShell) {
+  Grid3D<double> g(4, 3, 2, 1);
+  g.fill(7.0);
+  g.fill_ghost(0.0);
+  EXPECT_EQ(g.at(0, 0, 0), 7.0);
+  EXPECT_EQ(g.at(-1, 0, 0), 0.0);
+  EXPECT_EQ(g.at(4, 2, 1), 0.0);
+  EXPECT_EQ(g.at(0, -1, 0), 0.0);
+  EXPECT_EQ(g.at(0, 0, 2), 0.0);
+  EXPECT_EQ(g.at(3, 2, 1), 7.0);
+}
+
+TEST(Grid2D, FloatStorageAlignedAndIndexed) {
+  Grid2D<float> g(21, 6, 2);
+  for (int y = -2; y < 8; ++y) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(g.row(y)) % kAlign, 0u);
+  }
+  g.fill_interior([](int x, int y) { return static_cast<float>(x - y); });
+  EXPECT_EQ(g.at(20, 5), 15.0f);
+  EXPECT_EQ(g.at(0, 0), 0.0f);
+}
+
+TEST(Grid2D, InitialZero) {
+  Grid2D<double> g(5, 5, 1);
+  for (int y = -1; y < 6; ++y)
+    for (int x = -1; x < 6; ++x) EXPECT_EQ(g.at(x, y), 0.0);
+}

@@ -1,0 +1,70 @@
+// Performance-model unit tests (pure arithmetic; no timing).
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hpp"
+
+using namespace cats;
+
+namespace {
+
+bench::MachineProfile paper_xeon() {
+  bench::MachineProfile m;
+  m.l1_bw_gbps = 194.6;
+  m.l2_bw_gbps = 64.2;
+  m.sys_bw_gbps = 6.20;
+  m.peak_dp_gflops = 40.8;
+  m.stencil_dp_gflops = 25.1;
+  return m;
+}
+
+}  // namespace
+
+TEST(PerfModel, NaiveIsDramBoundOnThePaperXeon) {
+  // 128M-point 2D 5-pt stencil, T=100 — Fig. 6's largest case.
+  const TrafficInput in{128e6, 100, 0, 1.0, 1, 11282, 4};
+  const auto p = predict_runtime(paper_xeon(), naive_traffic_bytes(in),
+                                 kernel_cache_bytes(in), 128e6 * 100 * 9.0);
+  EXPECT_STREQ(p.bound(), "DRAM");
+  // Predicted naive GFLOPS ~ flops / dram_seconds: the paper measured 1.9.
+  const double gf = 128e6 * 100 * 9.0 / p.seconds() / 1e9;
+  EXPECT_GT(gf, 1.0);
+  EXPECT_LT(gf, 4.0);
+}
+
+TEST(PerfModel, CatsEscapesTheMemoryWallOnThePaperXeon) {
+  const TrafficInput in{128e6, 100, 0, 1.0, 1, 11282, 4};
+  // TZ ~ 16 on a 3MiB-class cache for this size.
+  const auto p = predict_runtime(paper_xeon(), cats1_traffic_bytes(in, 16),
+                                 kernel_cache_bytes(in), 128e6 * 100 * 9.0);
+  EXPECT_STRNE(p.bound(), "DRAM");
+  // Predicted CATS GFLOPS must land in the paper's measured ballpark (16.2).
+  const double gf = 128e6 * 100 * 9.0 / p.seconds() / 1e9;
+  EXPECT_GT(gf, 8.0);
+  EXPECT_LT(gf, 30.0);
+}
+
+TEST(PerfModel, BandedPullsBackTowardDram) {
+  const TrafficInput cst{32e6, 100, 0, 1.0, 1, 5657, 4};
+  const TrafficInput bnd{32e6, 100, 5, 1.0, 1, 5657, 4};
+  const auto m = paper_xeon();
+  const auto pc = predict_runtime(m, cats1_traffic_bytes(cst, 16),
+                                  kernel_cache_bytes(cst), 32e6 * 100 * 9.0);
+  const auto pb = predict_runtime(m, cats1_traffic_bytes(bnd, 8),
+                                  kernel_cache_bytes(bnd), 32e6 * 100 * 9.0);
+  EXPECT_GT(pb.seconds(), pc.seconds());
+  EXPECT_STREQ(pb.bound(), "DRAM");  // coefficients restore the memory wall
+}
+
+TEST(PerfModel, MaxOfThreeBounds) {
+  bench::MachineProfile m;
+  m.l2_bw_gbps = 10.0;
+  m.sys_bw_gbps = 1.0;
+  m.stencil_dp_gflops = 100.0;
+  const auto p = predict_runtime(m, 1e9, 1e9, 1e9);
+  EXPECT_DOUBLE_EQ(p.dram_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(p.cache_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(p.compute_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(p.seconds(), 1.0);
+  EXPECT_STREQ(p.bound(), "DRAM");
+}

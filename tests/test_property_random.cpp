@@ -1,0 +1,158 @@
+// Randomized property tests: many pseudo-random configurations (sizes,
+// weights, slopes, schemes, thread counts, cache sizes, overrides), each
+// checked bit-exactly against the serial reference. Deterministic seeds keep
+// failures reproducible.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/reference.hpp"
+#include "core/run.hpp"
+#include "helpers.hpp"
+#include "kernels/banded2d.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const3d.hpp"
+
+using namespace cats;
+using cats::test::expect_bit_equal;
+
+namespace {
+
+Scheme pick_scheme(std::mt19937& rng, bool allow_cats3) {
+  static constexpr Scheme kAll[] = {Scheme::Naive, Scheme::Cats1,
+                                    Scheme::Cats2, Scheme::Cats3,
+                                    Scheme::PlutoLike, Scheme::Auto};
+  for (;;) {
+    const Scheme s = kAll[rng() % 6];
+    if (s != Scheme::Cats3 || allow_cats3) return s;
+  }
+}
+
+RunOptions random_options(std::mt19937& rng, bool allow_cats3) {
+  RunOptions opt;
+  opt.scheme = pick_scheme(rng, allow_cats3);
+  opt.threads = 1 + static_cast<int>(rng() % 5);
+  opt.cache_bytes = (std::size_t{1} << (10 + rng() % 8));  // 1KiB..128KiB
+  if (rng() % 3 == 0) opt.tz_override = 1 + static_cast<int>(rng() % 20);
+  if (rng() % 3 == 0) opt.bz_override = 2 + static_cast<int>(rng() % 40);
+  if (rng() % 4 == 0) opt.bx_override = 2 + static_cast<int>(rng() % 30);
+  if (rng() % 4 == 0) opt.min_wavefront_timesteps = 1 + static_cast<int>(rng() % 20);
+  return opt;
+}
+
+template <int S>
+void random_case_2d(std::mt19937& rng) {
+  const int W = 8 + static_cast<int>(rng() % 90);
+  const int H = 8 + static_cast<int>(rng() % 70);
+  const int T = 1 + static_cast<int>(rng() % 25);
+  std::uniform_real_distribution<double> wdist(-0.3, 0.3);
+  typename ConstStar2D<S>::Weights w;
+  w.center = wdist(rng);
+  for (int k = 0; k < S; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    w.xm[i] = wdist(rng);
+    w.xp[i] = wdist(rng);
+    w.ym[i] = wdist(rng);
+    w.yp[i] = wdist(rng);
+  }
+  const double bnd = wdist(rng);
+
+  ConstStar2D<S> ref(W, H, w);
+  ref.init(cats::test::init2d, bnd);
+  run_reference(ref, T);
+  std::vector<double> want;
+  ref.copy_result_to(want, T);
+
+  const RunOptions opt = random_options(rng, /*allow_cats3=*/false);
+  ConstStar2D<S> k(W, H, w);
+  k.init(cats::test::init2d, bnd);
+  run(k, T, opt);
+  std::vector<double> got;
+  k.copy_result_to(got, T);
+  expect_bit_equal(got, want, scheme_name(opt.scheme));
+  if (::testing::Test::HasFailure()) {
+    ADD_FAILURE() << "config: W=" << W << " H=" << H << " T=" << T
+                  << " scheme=" << scheme_name(opt.scheme)
+                  << " threads=" << opt.threads
+                  << " cache=" << opt.cache_bytes
+                  << " tz=" << opt.tz_override << " bz=" << opt.bz_override;
+  }
+}
+
+void random_case_3d(std::mt19937& rng) {
+  const int W = 6 + static_cast<int>(rng() % 26);
+  const int H = 6 + static_cast<int>(rng() % 22);
+  const int D = 6 + static_cast<int>(rng() % 26);
+  const int T = 1 + static_cast<int>(rng() % 12);
+
+  ConstStar3D<1> ref(W, H, D, default_star3d_weights<1>());
+  ref.init(cats::test::init3d, 0.1);
+  run_reference(ref, T);
+  std::vector<double> want;
+  ref.copy_result_to(want, T);
+
+  const RunOptions opt = random_options(rng, /*allow_cats3=*/true);
+  ConstStar3D<1> k(W, H, D, default_star3d_weights<1>());
+  k.init(cats::test::init3d, 0.1);
+  run(k, T, opt);
+  std::vector<double> got;
+  k.copy_result_to(got, T);
+  expect_bit_equal(got, want, scheme_name(opt.scheme));
+  if (::testing::Test::HasFailure()) {
+    ADD_FAILURE() << "config: W=" << W << " H=" << H << " D=" << D
+                  << " T=" << T << " scheme=" << scheme_name(opt.scheme)
+                  << " threads=" << opt.threads
+                  << " cache=" << opt.cache_bytes
+                  << " tz=" << opt.tz_override << " bz=" << opt.bz_override
+                  << " bx=" << opt.bx_override;
+  }
+}
+
+void random_case_banded(std::mt19937& rng) {
+  const int W = 10 + static_cast<int>(rng() % 50);
+  const int H = 10 + static_cast<int>(rng() % 40);
+  const int T = 1 + static_cast<int>(rng() % 15);
+
+  Banded2D<1> ref(W, H);
+  ref.init(cats::test::init2d, 0.0);
+  ref.init_bands(cats::test::band_coeff);
+  run_reference(ref, T);
+  std::vector<double> want;
+  ref.copy_result_to(want, T);
+
+  const RunOptions opt = random_options(rng, /*allow_cats3=*/false);
+  Banded2D<1> k(W, H);
+  k.init(cats::test::init2d, 0.0);
+  k.init_bands(cats::test::band_coeff);
+  run(k, T, opt);
+  std::vector<double> got;
+  k.copy_result_to(got, T);
+  expect_bit_equal(got, want, scheme_name(opt.scheme));
+}
+
+}  // namespace
+
+class RandomSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomSweep, Const2DSlope1) {
+  std::mt19937 rng(GetParam());
+  random_case_2d<1>(rng);
+}
+
+TEST_P(RandomSweep, Const2DSlope2) {
+  std::mt19937 rng(GetParam() + 1000);
+  random_case_2d<2>(rng);
+}
+
+TEST_P(RandomSweep, Const3D) {
+  std::mt19937 rng(GetParam() + 2000);
+  random_case_3d(rng);
+}
+
+TEST_P(RandomSweep, Banded2D) {
+  std::mt19937 rng(GetParam() + 3000);
+  random_case_banded(rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSweep, ::testing::Range(1u, 26u));

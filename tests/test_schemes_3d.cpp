@@ -1,0 +1,212 @@
+// Master 3D integration tests: bit-exact equivalence with the serial
+// reference for every scheme, including the CATS1->CATS2 fallback regime.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/reference.hpp"
+#include "core/run.hpp"
+#include "helpers.hpp"
+#include "kernels/banded3d.hpp"
+#include "kernels/const3d.hpp"
+#include "kernels/literature.hpp"
+
+using namespace cats;
+using cats::test::expect_bit_equal;
+
+namespace {
+
+template <int S>
+std::vector<double> reference_const3d(int W, int H, int D, int T) {
+  ConstStar3D<S> k(W, H, D, default_star3d_weights<S>());
+  k.init(cats::test::init3d, -0.125);
+  run_reference(k, T);
+  std::vector<double> out;
+  k.copy_result_to(out, T);
+  return out;
+}
+
+template <int S>
+std::vector<double> scheme_const3d(int W, int H, int D, int T,
+                                   const RunOptions& opt) {
+  ConstStar3D<S> k(W, H, D, default_star3d_weights<S>());
+  k.init(cats::test::init3d, -0.125);
+  run(k, T, opt);
+  std::vector<double> out;
+  k.copy_result_to(out, T);
+  return out;
+}
+
+}  // namespace
+
+using SweepParam = std::tuple<Scheme, int, std::tuple<int, int, int, int>, int>;
+
+class Schemes3DSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(Schemes3DSweep, BitExactVsReference) {
+  const auto [scheme, threads, shape, cache_kib] = GetParam();
+  const auto [W, H, D, T] = shape;
+  RunOptions opt;
+  opt.scheme = scheme;
+  opt.threads = threads;
+  opt.cache_bytes = static_cast<std::size_t>(cache_kib) * 1024;
+  const auto want = reference_const3d<1>(W, H, D, T);
+  const auto got = scheme_const3d<1>(W, H, D, T, opt);
+  expect_bit_equal(got, want, scheme_name(scheme));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, Schemes3DSweep,
+    ::testing::Combine(
+        ::testing::Values(Scheme::Naive, Scheme::Cats1, Scheme::Cats2,
+                          Scheme::PlutoLike, Scheme::Auto),
+        ::testing::Values(1, 4),
+        ::testing::Values(std::tuple{17, 13, 11, 6},   // odd everything
+                          std::tuple{32, 32, 32, 12},  // cube
+                          std::tuple{24, 9, 40, 9}),   // long traversal dim
+        ::testing::Values(8, 128)));
+
+TEST(Schemes3D, HigherSlopes) {
+  RunOptions opt;
+  opt.threads = 3;
+  opt.cache_bytes = 64 * 1024;
+  for (Scheme s : {Scheme::Cats1, Scheme::Cats2, Scheme::PlutoLike}) {
+    opt.scheme = s;
+    expect_bit_equal(scheme_const3d<2>(21, 17, 15, 6, opt),
+                     reference_const3d<2>(21, 17, 15, 6), "slope2-3d");
+  }
+}
+
+TEST(Schemes3D, AutoLeavesCats1WhenSlicesExceedCache) {
+  // 48x48 slices of doubles = 18KiB each; a 16KiB cache cannot hold a single
+  // timestep of the CATS1 wavefront, so Auto must move past CATS1 — here all
+  // the way to CATS3 (the CATS2 diamond would span < 10 timesteps too) — and
+  // stay correct.
+  RunOptions opt;
+  opt.threads = 2;
+  opt.cache_bytes = 16 * 1024;
+  ConstStar3D<1> k(48, 48, 48, default_star3d_weights<1>());
+  k.init(cats::test::init3d);
+  const SchemeChoice c = plan(k, 20, opt);
+  EXPECT_TRUE(c.scheme == Scheme::Cats2 || c.scheme == Scheme::Cats3);
+  expect_bit_equal(scheme_const3d<1>(48, 48, 48, 20, opt),
+                   reference_const3d<1>(48, 48, 48, 20), "auto-beyond-cats1");
+
+  // With a roomier cache the CATS2 diamond is deep enough and Auto stops there.
+  opt.cache_bytes = 256 * 1024;
+  EXPECT_EQ(plan(k, 20, opt).scheme, Scheme::Cats2);
+}
+
+TEST(Schemes3D, Cats3BitExactAcrossTileWidths) {
+  const auto want = reference_const3d<1>(26, 22, 24, 9);
+  RunOptions opt;
+  opt.scheme = Scheme::Cats3;
+  for (int threads : {1, 4}) {
+    opt.threads = threads;
+    for (int bz : {4, 8, 64}) {
+      for (int bx : {2, 6, 100}) {
+        opt.bz_override = bz;
+        opt.bx_override = bx;
+        expect_bit_equal(scheme_const3d<1>(26, 22, 24, 9, opt), want, "cats3");
+      }
+    }
+  }
+}
+
+TEST(Schemes3D, Cats3HigherSlopeAndBanded) {
+  RunOptions opt;
+  opt.scheme = Scheme::Cats3;
+  opt.threads = 3;
+  opt.cache_bytes = 8 * 1024;
+  expect_bit_equal(scheme_const3d<2>(21, 17, 15, 6, opt),
+                   reference_const3d<2>(21, 17, 15, 6), "cats3-slope2");
+
+  Banded3D<1> ref(19, 15, 13);
+  ref.init(cats::test::init3d, 0.0);
+  ref.init_bands(cats::test::band_coeff3);
+  run_reference(ref, 8);
+  std::vector<double> want;
+  ref.copy_result_to(want, 8);
+  Banded3D<1> k(19, 15, 13);
+  k.init(cats::test::init3d, 0.0);
+  k.init_bands(cats::test::band_coeff3);
+  run(k, 8, opt);
+  std::vector<double> got;
+  k.copy_result_to(got, 8);
+  expect_bit_equal(got, want, "cats3-banded");
+}
+
+TEST(Schemes3D, BandedMatrixAllSchemes) {
+  auto make = [](Banded3D<1>& k) {
+    k.init(cats::test::init3d, 0.0);
+    k.init_bands(cats::test::band_coeff3);
+  };
+  Banded3D<1> ref(19, 15, 13);
+  make(ref);
+  run_reference(ref, 8);
+  std::vector<double> want;
+  ref.copy_result_to(want, 8);
+
+  for (Scheme s : {Scheme::Naive, Scheme::Cats1, Scheme::Cats2,
+                   Scheme::PlutoLike, Scheme::Auto}) {
+    Banded3D<1> k(19, 15, 13);
+    make(k);
+    RunOptions opt;
+    opt.scheme = s;
+    opt.threads = 4;
+    opt.cache_bytes = 24 * 1024;
+    run(k, 8, opt);
+    std::vector<double> got;
+    k.copy_result_to(got, 8);
+    expect_bit_equal(got, want, scheme_name(s));
+  }
+}
+
+TEST(Schemes3D, LiteratureKernelsAllSchemes) {
+  auto check = [](auto make_kernel, const char* label) {
+    auto ref = make_kernel();
+    run_reference(ref, 10);
+    std::vector<double> want;
+    ref.copy_result_to(want, 10);
+    for (Scheme s : {Scheme::Naive, Scheme::Cats1, Scheme::Cats2,
+                     Scheme::PlutoLike}) {
+      auto k = make_kernel();
+      RunOptions opt;
+      opt.scheme = s;
+      opt.threads = 2;
+      opt.cache_bytes = 32 * 1024;
+      run(k, 10, opt);
+      std::vector<double> got;
+      k.copy_result_to(got, 10);
+      expect_bit_equal(got, want, label);
+    }
+  };
+  check([] {
+    Laplace3D k(22, 18, 14, 0.4, 0.1);
+    k.init(cats::test::init3d);
+    return k;
+  }, "laplace3d");
+  check([] {
+    Jacobi3D6 k(22, 18, 14, 0.0, 1.0 / 6.0);
+    k.init(cats::test::init3d);
+    return k;
+  }, "jacobi3d6");
+}
+
+TEST(Schemes3D, DegenerateDiamondAndChunkSizes) {
+  const auto want = reference_const3d<1>(20, 16, 18, 7);
+  RunOptions opt;
+  opt.threads = 2;
+  opt.scheme = Scheme::Cats1;
+  for (int tz : {1, 3, 7, 50}) {
+    opt.tz_override = tz;
+    expect_bit_equal(scheme_const3d<1>(20, 16, 18, 7, opt), want, "tz-3d");
+  }
+  opt.scheme = Scheme::Cats2;
+  opt.tz_override = 0;
+  for (int bz : {2, 5, 16, 400}) {
+    opt.bz_override = bz;
+    expect_bit_equal(scheme_const3d<1>(20, 16, 18, 7, opt), want, "bz-3d");
+  }
+}

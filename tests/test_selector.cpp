@@ -1,0 +1,150 @@
+// Selector tests: Eq. 1 / Eq. 2 arithmetic (including the paper's worked
+// example) and the general-CATS rule of thumb.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/selector.hpp"
+#include "core/stencil.hpp"
+#include "kernels/banded2d.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/fdtd2d.hpp"
+
+using namespace cats;
+
+TEST(Eq1, PaperWorkedExample) {
+  // Section II-B: 128KiB cache, CS = 3, 500^2 doubles -> TZ = 10
+  // (3 * 10 * 500 * 8B = 120KB < 128KiB).
+  const DomainShape d{500 * 500, 500, 500, 2};
+  const KernelCosts k{1, 3.0};
+  EXPECT_EQ(compute_tz(128 * 1024, d, k), 10);
+}
+
+TEST(Eq1, ScalesLinearlyWithCache) {
+  const DomainShape d{1000 * 1000, 1000, 1000, 2};
+  const KernelCosts k{1, 2.8};
+  const int tz1 = compute_tz(1 << 20, d, k);
+  const int tz2 = compute_tz(1 << 21, d, k);
+  EXPECT_NEAR(tz2, 2 * tz1, 1);
+  EXPECT_EQ(compute_tz(0, d, k), 0);
+}
+
+TEST(Eq1, ZeroWhenWavefrontDoesNotFit) {
+  // 3D-style shape: wavefront = W*H doubles per timestep, tiny cache.
+  const DomainShape d{256ll * 256 * 256, 256, 256, 3};
+  const KernelCosts k{1, 2.8};
+  EXPECT_EQ(compute_tz(64 * 1024, d, k), 0);
+}
+
+TEST(Eq2, TwoDimensionalFormula) {
+  // In 2D Wmax*Wmax2 = N, so BZ = floor(sqrt(2 s Zd / CS)).
+  const DomainShape d{4000ll * 4000, 4000, 4000, 2};
+  const KernelCosts k{1, 2.8};
+  const std::size_t z = 2 * 1024 * 1024;
+  const auto zd = static_cast<double>(z) / 8.0;
+  const auto expect = static_cast<std::int64_t>(std::sqrt(2.0 * zd / 2.8));
+  EXPECT_EQ(compute_bz(z, d, k), expect);
+}
+
+TEST(Eq2, ClampedToMinimumDiamond) {
+  const DomainShape d{1 << 20, 1024, 1024, 2};
+  const KernelCosts k{3, 6.8};
+  EXPECT_EQ(compute_bz(1, d, k), 6);  // 2s
+}
+
+TEST(EffectiveCs, ConstBandedFdtd) {
+  ConstStar2D<1> c(8, 8, default_star2d_weights<1>());
+  EXPECT_DOUBLE_EQ(effective_cs(c, 0.8), 2.8);
+  ConstStar2D<2> c2(8, 8, default_star2d_weights<2>());
+  EXPECT_DOUBLE_EQ(effective_cs(c2, 0.8), 4.8);
+
+  Banded2D<1> b(8, 8);
+  // CS + NS: the paper's banded-matrix correction (NS = 5 bands in 2D).
+  EXPECT_DOUBLE_EQ(effective_cs(b, 0.8), 2.8 + 5.0);
+
+  Fdtd2D f(8, 8);
+  // Three live fields scale the wavefront share.
+  EXPECT_DOUBLE_EQ(effective_cs(f, 0.8), 3.0 * 2.8);
+}
+
+TEST(Selector, AutoPicksCats1WhenWavefrontDeepEnough) {
+  const DomainShape d{500 * 500, 500, 500, 2};
+  const KernelCosts k{1, 2.8};
+  RunOptions opt;
+  opt.cache_bytes = 2 * 1024 * 1024;
+  const SchemeChoice c = select_scheme(d, k, opt, 100);
+  EXPECT_EQ(c.scheme, Scheme::Cats1);
+  EXPECT_GE(c.tz, opt.min_wavefront_timesteps);
+  EXPECT_LE(c.tz, 100);
+}
+
+TEST(Selector, AutoSwitchesToCats2InLarge3D) {
+  // 256^3: the CATS1 wavefront holds W*H*TZ doubles -> TZ < 10 for a 2MiB
+  // cache, so the general scheme must pick CATS2 (Section II-C).
+  const DomainShape d{256ll * 256 * 256, 256, 256, 3};
+  const KernelCosts k{1, 2.8};
+  RunOptions opt;
+  opt.cache_bytes = 2 * 1024 * 1024;
+  const SchemeChoice c = select_scheme(d, k, opt, 100);
+  EXPECT_EQ(c.scheme, Scheme::Cats2);
+  EXPECT_GE(c.bz, 2);
+}
+
+TEST(Selector, TzCappedByTotalTimesteps) {
+  const DomainShape d{100 * 100, 100, 100, 2};
+  const KernelCosts k{1, 2.8};
+  RunOptions opt;
+  opt.cache_bytes = 64 * 1024 * 1024;  // huge: TZ formula >> T
+  const SchemeChoice c = select_scheme(d, k, opt, 7);
+  EXPECT_EQ(c.scheme, Scheme::Cats1);
+  EXPECT_EQ(c.tz, 7);
+}
+
+TEST(Selector, OneDimensionalAlwaysCats1) {
+  const DomainShape d{1 << 20, 1 << 20, 0, 1};
+  const KernelCosts k{1, 2.8};
+  RunOptions opt;
+  opt.cache_bytes = 4096;  // tiny: tz formula small
+  const SchemeChoice c = select_scheme(d, k, opt, 100);
+  EXPECT_EQ(c.scheme, Scheme::Cats1);
+  EXPECT_GE(c.tz, 1);
+}
+
+TEST(Selector, ExplicitSchemeAndOverridesRespected) {
+  const DomainShape d{512 * 512, 512, 512, 2};
+  const KernelCosts k{1, 2.8};
+  RunOptions opt;
+  opt.cache_bytes = 1 << 20;
+
+  opt.scheme = Scheme::Naive;
+  EXPECT_EQ(select_scheme(d, k, opt, 10).scheme, Scheme::Naive);
+
+  opt.scheme = Scheme::Cats1;
+  opt.tz_override = 4;
+  EXPECT_EQ(select_scheme(d, k, opt, 10).tz, 4);
+
+  opt.scheme = Scheme::Cats2;
+  opt.bz_override = 24;
+  EXPECT_EQ(select_scheme(d, k, opt, 10).bz, 24);
+
+  opt.scheme = Scheme::PlutoLike;
+  EXPECT_EQ(select_scheme(d, k, opt, 10).scheme, Scheme::PlutoLike);
+}
+
+TEST(Selector, ResolveCacheBytes) {
+  RunOptions opt;
+  opt.cache_bytes = 12345;
+  EXPECT_EQ(resolve_cache_bytes(opt), 12345u);
+  opt.cache_bytes = 0;
+  EXPECT_GT(resolve_cache_bytes(opt), 0u);  // detection always yields something
+}
+
+TEST(Selector, BandedMatrixShrinksTz) {
+  const DomainShape d{1000 * 1000, 1000, 1000, 2};
+  const std::size_t z = 2 * 1024 * 1024;
+  const int tz_const = compute_tz(z, d, {1, 2.8});
+  const int tz_banded = compute_tz(z, d, {1, 2.8 + 5.0});
+  EXPECT_LT(tz_banded, tz_const);
+  EXPECT_GT(tz_banded, 0);
+}

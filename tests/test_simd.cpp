@@ -1,0 +1,90 @@
+// SIMD wrapper tests: VecD lane semantics match ScalarD exactly.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "simd/detect.hpp"
+#include "simd/vecd.hpp"
+
+using cats::simd::ScalarD;
+using cats::simd::VecD;
+
+namespace {
+constexpr int W = VecD::width;
+}
+
+TEST(VecD, LoadStoreRoundTrip) {
+  alignas(64) std::array<double, 16> in{};
+  alignas(64) std::array<double, 16> out{};
+  for (int i = 0; i < 16; ++i) in[static_cast<std::size_t>(i)] = i * 1.25 - 3.0;
+  VecD::load(in.data()).store(out.data());
+  for (int i = 0; i < W; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], in[static_cast<std::size_t>(i)]);
+  VecD::load_aligned(in.data() + 8).store_aligned(out.data() + 8);
+  for (int i = 0; i < W && i < 8; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(8 + i)], in[static_cast<std::size_t>(8 + i)]);
+}
+
+TEST(VecD, ArithmeticMatchesScalarBitExactly) {
+  alignas(64) std::array<double, 8> a{0.1, -2.5, 3.75, 1e-17, 4.0, -0.0, 123.456, 2.0};
+  alignas(64) std::array<double, 8> b{1.5, 0.25, -7.0, 2e17, 0.5, 3.0, -0.001, 9.0};
+  alignas(64) std::array<double, 8> vres{};
+
+  auto check = [&](auto vec_op, auto scal_op, const char* name) {
+    vec_op().store(vres.data());
+    for (int i = 0; i < W; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const double expect = scal_op(a[ii], b[ii]);
+      EXPECT_EQ(std::memcmp(&vres[ii], &expect, 8), 0)
+          << name << " lane " << i;
+    }
+  };
+  check([&] { return VecD::load(a.data()) + VecD::load(b.data()); },
+        [](double x, double y) { return x + y; }, "+");
+  check([&] { return VecD::load(a.data()) - VecD::load(b.data()); },
+        [](double x, double y) { return x - y; }, "-");
+  check([&] { return VecD::load(a.data()) * VecD::load(b.data()); },
+        [](double x, double y) { return x * y; }, "*");
+}
+
+TEST(VecD, BroadcastAndZero) {
+  alignas(64) std::array<double, 8> out{};
+  VecD::broadcast(3.5).store(out.data());
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 3.5);
+  VecD::zero().store(out.data());
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 0.0);
+}
+
+TEST(VecD, HsumSumsAllLanes) {
+  alignas(64) std::array<double, 8> a{};
+  double expect = 0.0;
+  for (int i = 0; i < W; ++i) {
+    a[static_cast<std::size_t>(i)] = i + 1.0;
+    expect += i + 1.0;
+  }
+  EXPECT_DOUBLE_EQ(VecD::load(a.data()).hsum(), expect);
+}
+
+TEST(ScalarD, MirrorsInterface) {
+  double x = 0.0;
+  (ScalarD::broadcast(2.0) * ScalarD::broadcast(3.0) + ScalarD::broadcast(1.0))
+      .store(&x);
+  EXPECT_EQ(x, 7.0);
+  EXPECT_EQ(ScalarD::width, 1);
+  EXPECT_EQ(ScalarD::fma(ScalarD{2.0}, ScalarD{3.0}, ScalarD{4.0}).v, 10.0);
+}
+
+TEST(Detect, BaselineFeaturesPresent) {
+  const auto f = cats::simd::detect_cpu_features();
+  EXPECT_TRUE(f.sse2);  // x86-64 guarantee
+  EXPECT_FALSE(cats::simd::cpu_features_string().empty());
+}
+
+TEST(Detect, CompiledWidthSupportedAtRuntime) {
+  const auto f = cats::simd::detect_cpu_features();
+  if (W == 8) { EXPECT_TRUE(f.avx512f); }
+  if (W == 4) { EXPECT_TRUE(f.avx2 || f.avx); }
+  if (W >= 2) { EXPECT_TRUE(f.sse2); }
+}

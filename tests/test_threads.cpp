@@ -1,0 +1,129 @@
+// Threading substrate tests: pool dispatch, barrier, progress cells.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "threads/barrier.hpp"
+#include "threads/progress.hpp"
+#include "threads/thread_pool.hpp"
+
+using namespace cats;
+
+TEST(ThreadPool, RunsEveryTidExactlyOnce) {
+  for (int n : {1, 2, 4, 8}) {
+    ThreadPool pool(n);
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+    for (int i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int r = 0; r < 50; ++r) {
+    pool.run([&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run([](int tid) {
+        if (tid == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Pool must remain usable afterwards.
+  std::atomic<int> n{0};
+  pool.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesCallerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run([](int tid) {
+        if (tid == 0) throw std::logic_error("caller");
+      }),
+      std::logic_error);
+  std::atomic<int> n{0};
+  pool.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 2);
+}
+
+TEST(SpinBarrier, OrdersPhases) {
+  const int n = 4, rounds = 200;
+  ThreadPool pool(n);
+  SpinBarrier bar(n);
+  std::vector<std::atomic<int>> counters(rounds);
+  std::atomic<bool> violation{false};
+  pool.run([&](int) {
+    for (int r = 0; r < rounds; ++r) {
+      counters[static_cast<std::size_t>(r)]++;
+      bar.arrive_and_wait();
+      // After the barrier every participant must have incremented round r.
+      if (counters[static_cast<std::size_t>(r)].load() != n) violation = true;
+      bar.arrive_and_wait();
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(ProgressCell, WaitSeesPublishedValue) {
+  ProgressCell cell;
+  EXPECT_EQ(cell.load(), INT64_MIN);
+  cell.publish(41);
+  cell.wait_ge(41);  // must not block
+  EXPECT_EQ(cell.load(), 41);
+  cell.reset();
+  EXPECT_EQ(cell.load(), INT64_MIN);
+}
+
+TEST(ProgressCell, ProducerConsumerOrdering) {
+  ThreadPool pool(2);
+  ProgressCell cell;
+  std::vector<int> data(1000, 0);
+  std::atomic<bool> ok{true};
+  pool.run([&](int tid) {
+    if (tid == 0) {
+      for (int i = 0; i < 1000; ++i) {
+        data[static_cast<std::size_t>(i)] = i + 1;
+        cell.publish(i);
+      }
+    } else {
+      for (int i = 0; i < 1000; ++i) {
+        cell.wait_ge(i);
+        if (data[static_cast<std::size_t>(i)] != i + 1) ok = false;
+      }
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(DoneFlag, SetAndWait) {
+  DoneFlag f;
+  EXPECT_FALSE(f.test());
+  f.set();
+  EXPECT_TRUE(f.test());
+  f.wait();  // must not block
+}
+
+TEST(DoneFlag, CrossThreadRelease) {
+  ThreadPool pool(2);
+  DoneFlag f;
+  int payload = 0;
+  pool.run([&](int tid) {
+    if (tid == 0) {
+      payload = 99;
+      f.set();
+    } else {
+      f.wait();
+      EXPECT_EQ(payload, 99);
+    }
+  });
+}

@@ -1,0 +1,112 @@
+// Cross-validation of the analytic traffic model against the LRU cache
+// simulator: the closed forms must predict simulated DRAM traffic within a
+// modest factor, for constant and banded stencils, CATS1 and CATS2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cachesim/cache_model.hpp"
+#include "cachesim/trace_kernel.hpp"
+#include "cachesim/traffic_model.hpp"
+#include "core/run.hpp"
+
+using namespace cats;
+
+namespace {
+
+std::uint64_t sim2d(Scheme s, int side, int T, std::size_t z, int bands,
+                    int tz = 0, int bz = 0) {
+  CacheModel cm(z, 8, 64);
+  TraceStar2D k(side, side, 1, bands, &cm);
+  RunOptions opt;
+  opt.scheme = s;
+  opt.threads = 1;
+  opt.cache_bytes = z;
+  opt.tz_override = tz;
+  opt.bz_override = bz;
+  run(k, T, opt);
+  return cm.miss_bytes();
+}
+
+void expect_within_factor(double model, double simulated, double factor,
+                          const char* label) {
+  EXPECT_LE(model / factor, simulated) << label << " model=" << model
+                                       << " sim=" << simulated;
+  EXPECT_GE(model * factor, simulated) << label << " model=" << model
+                                       << " sim=" << simulated;
+}
+
+}  // namespace
+
+TEST(TrafficModel, NaiveConstant2D) {
+  const int side = 512, T = 12;
+  const TrafficInput in{static_cast<double>(side) * side, T, 0, 1.0, 1,
+                        side, 1};
+  const double model = naive_traffic_bytes(in);
+  const double sim = static_cast<double>(
+      sim2d(Scheme::Naive, side, T, 128 * 1024, 0));
+  expect_within_factor(model, sim, 1.3, "naive-const");
+}
+
+TEST(TrafficModel, NaiveBanded2D) {
+  const int side = 384, T = 8, NS = 5;
+  const TrafficInput in{static_cast<double>(side) * side, T, NS, 1.0, 1,
+                        side, 1};
+  const double model = naive_traffic_bytes(in);
+  const double sim = static_cast<double>(
+      sim2d(Scheme::Naive, side, T, 64 * 1024, NS));
+  expect_within_factor(model, sim, 1.3, "naive-banded");
+}
+
+TEST(TrafficModel, Cats1Constant2D) {
+  const int side = 512, T = 24;
+  const std::size_t z = 128 * 1024;
+  const DomainShape d{static_cast<std::int64_t>(side) * side, side, side, 2};
+  const int tz = compute_tz(z, d, {1, 2.8});
+  ASSERT_GT(tz, 0);
+  const TrafficInput in{static_cast<double>(side) * side, T, 0, 1.0, 1,
+                        side, 1};
+  const double model = cats1_traffic_bytes(in, tz);
+  const double sim =
+      static_cast<double>(sim2d(Scheme::Cats1, side, T, z, 0, tz));
+  expect_within_factor(model, sim, 1.6, "cats1-const");
+}
+
+TEST(TrafficModel, Cats2Constant2D) {
+  const int side = 512, T = 32;
+  const std::size_t z = 128 * 1024;
+  const DomainShape d{static_cast<std::int64_t>(side) * side, side, side, 2};
+  const std::int64_t bz = compute_bz(z, d, {1, 2.8});
+  const TrafficInput in{static_cast<double>(side) * side, T, 0, 1.0, 1,
+                        side, 1};
+  const double model = cats2_traffic_bytes(in, bz);
+  const double sim = static_cast<double>(
+      sim2d(Scheme::Cats2, side, T, z, 0, 0, static_cast<int>(bz)));
+  expect_within_factor(model, sim, 2.0, "cats2-const");
+}
+
+TEST(TrafficModel, SpeedupBoundTracksChunkDepth) {
+  // The model's headline: CATS1's advantage grows ~ linearly with TZ until
+  // border terms bite.
+  const TrafficInput in{1e6, 100, 0, 1.0, 1, 1000, 4};
+  const double naive = naive_traffic_bytes(in);
+  const double s10 = traffic_speedup_bound(naive, cats1_traffic_bytes(in, 10));
+  const double s25 = traffic_speedup_bound(naive, cats1_traffic_bytes(in, 25));
+  EXPECT_GT(s25, s10);
+  EXPECT_GT(s10, 5.0);
+  EXPECT_LT(s25, 100.0);
+}
+
+TEST(TrafficModel, BandedCapsTheGain) {
+  // With NS coefficient streams the achievable reduction saturates near
+  // (2 + NS) / ((2 + NS)/chunks + border) — far below the constant-stencil
+  // bound (the paper's Section III-B observation).
+  const TrafficInput cst{1e6, 100, 0, 1.0, 1, 1000, 1};
+  const TrafficInput bnd{1e6, 100, 5, 1.0, 1, 1000, 1};
+  const double g_const = traffic_speedup_bound(naive_traffic_bytes(cst),
+                                               cats1_traffic_bytes(cst, 20));
+  const double g_band = traffic_speedup_bound(naive_traffic_bytes(bnd),
+                                              cats1_traffic_bytes(bnd, 20));
+  EXPECT_LT(g_band, g_const);
+}

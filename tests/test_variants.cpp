@@ -1,0 +1,136 @@
+// Ablation-variant correctness: the alternatives measured in
+// bench/ablation_variants must be bit-exact too, or the comparison is void.
+
+#include <gtest/gtest.h>
+
+#include "baseline/cache_oblivious.hpp"
+#include "core/reference.hpp"
+#include "core/run.hpp"
+#include "core/variants.hpp"
+#include "helpers.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const3d.hpp"
+
+using namespace cats;
+using cats::test::expect_bit_equal;
+
+namespace {
+
+template <int S>
+std::vector<double> reference_2d(int W, int H, int T) {
+  ConstStar2D<S> k(W, H, default_star2d_weights<S>());
+  k.init(cats::test::init2d, 0.25);
+  run_reference(k, T);
+  std::vector<double> out;
+  k.copy_result_to(out, T);
+  return out;
+}
+
+}  // namespace
+
+TEST(DiagonalWavefront, BitExactAcrossChunkHeights) {
+  const auto want = reference_2d<1>(47, 31, 13);
+  for (int tz : {1, 4, 13, 50}) {
+    ConstStar2D<1> k(47, 31, default_star2d_weights<1>());
+    k.init(cats::test::init2d, 0.25);
+    run_diagonal_wavefront_2d(k, 13, tz);
+    std::vector<double> got;
+    k.copy_result_to(got, 13);
+    expect_bit_equal(got, want, "diagonal");
+  }
+}
+
+TEST(DiagonalWavefront, HigherSlope) {
+  const auto want = reference_2d<2>(33, 29, 7);
+  ConstStar2D<2> k(33, 29, default_star2d_weights<2>());
+  k.init(cats::test::init2d, 0.25);
+  run_diagonal_wavefront_2d(k, 7, 3);
+  std::vector<double> got;
+  k.copy_result_to(got, 7);
+  expect_bit_equal(got, want, "diagonal-s2");
+}
+
+TEST(Cats2Dynamic, BitExactAcrossThreadsAndDiamonds) {
+  const auto want = reference_2d<1>(53, 37, 11);
+  for (int threads : {1, 3, 4}) {
+    for (int bz : {2, 5, 16, 200}) {
+      ConstStar2D<1> k(53, 37, default_star2d_weights<1>());
+      k.init(cats::test::init2d, 0.25);
+      RunOptions opt;
+      opt.threads = threads;
+      run_cats2_dynamic(k, 11, opt, bz);
+      std::vector<double> got;
+      k.copy_result_to(got, 11);
+      expect_bit_equal(got, want, "dynamic");
+    }
+  }
+}
+
+TEST(CacheOblivious, BitExact2D) {
+  for (auto [W, H, T] : {std::tuple{37, 23, 7}, std::tuple{64, 64, 20},
+                         std::tuple{101, 53, 33}}) {
+    const auto want = reference_2d<1>(W, H, T);
+    ConstStar2D<1> k(W, H, default_star2d_weights<1>());
+    k.init(cats::test::init2d, 0.25);
+    run_cache_oblivious(k, T);
+    std::vector<double> got;
+    k.copy_result_to(got, T);
+    expect_bit_equal(got, want, "oblivious-2d");
+  }
+}
+
+TEST(CacheOblivious, BitExact2DHigherSlope) {
+  const auto want = reference_2d<2>(61, 47, 13);
+  ConstStar2D<2> k(61, 47, default_star2d_weights<2>());
+  k.init(cats::test::init2d, 0.25);
+  run_cache_oblivious(k, 13);
+  std::vector<double> got;
+  k.copy_result_to(got, 13);
+  expect_bit_equal(got, want, "oblivious-s2");
+}
+
+TEST(CacheOblivious, BitExact3D) {
+  ConstStar3D<1> ref(18, 14, 16, default_star3d_weights<1>());
+  ref.init(cats::test::init3d, 0.0);
+  run_reference(ref, 11);
+  std::vector<double> want;
+  ref.copy_result_to(want, 11);
+
+  ConstStar3D<1> k(18, 14, 16, default_star3d_weights<1>());
+  k.init(cats::test::init3d, 0.0);
+  run_cache_oblivious(k, 11);
+  std::vector<double> got;
+  k.copy_result_to(got, 11);
+  expect_bit_equal(got, want, "oblivious-3d");
+}
+
+TEST(CacheOblivious, TallAndWideExtremes) {
+  // Degenerate aspect ratios exercise both cut rules to their base cases.
+  for (auto [W, H, T] : {std::tuple{16, 200, 3}, std::tuple{16, 4, 64}}) {
+    const auto want = reference_2d<1>(W, H, T);
+    ConstStar2D<1> k(W, H, default_star2d_weights<1>());
+    k.init(cats::test::init2d, 0.25);
+    run_cache_oblivious(k, T);
+    std::vector<double> got;
+    k.copy_result_to(got, T);
+    expect_bit_equal(got, want, "oblivious-extreme");
+  }
+}
+
+TEST(Cats2Dynamic, RepeatedRunsDeterministic) {
+  // The dynamic schedule varies run to run; the numbers must not.
+  std::vector<double> first;
+  for (int rep = 0; rep < 5; ++rep) {
+    ConstStar2D<1> k(41, 27, default_star2d_weights<1>());
+    k.init(cats::test::init2d, 0.25);
+    RunOptions opt;
+    opt.threads = 4;
+    run_cats2_dynamic(k, 9, opt, 6);
+    std::vector<double> got;
+    k.copy_result_to(got, 9);
+    if (rep == 0)
+      first = got;
+    else
+      expect_bit_equal(got, first, "rep");
+  }
+}
