@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_misses.dir/ablation_misses.cpp.o"
+  "CMakeFiles/ablation_misses.dir/ablation_misses.cpp.o.d"
+  "ablation_misses"
+  "ablation_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_families.dir/baseline_families.cpp.o"
+  "CMakeFiles/baseline_families.dir/baseline_families.cpp.o.d"
+  "baseline_families"
+  "baseline_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

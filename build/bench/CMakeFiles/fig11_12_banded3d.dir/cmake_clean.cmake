@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_banded3d.dir/fig11_12_banded3d.cpp.o"
+  "CMakeFiles/fig11_12_banded3d.dir/fig11_12_banded3d.cpp.o.d"
+  "fig11_12_banded3d"
+  "fig11_12_banded3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_banded3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

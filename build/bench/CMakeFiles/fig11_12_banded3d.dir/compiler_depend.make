@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_12_banded3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_12_banded3d.
+# This may be replaced when dependencies are built.

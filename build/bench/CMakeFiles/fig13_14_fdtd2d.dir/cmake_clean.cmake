@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_fdtd2d.dir/fig13_14_fdtd2d.cpp.o"
+  "CMakeFiles/fig13_14_fdtd2d.dir/fig13_14_fdtd2d.cpp.o.d"
+  "fig13_14_fdtd2d"
+  "fig13_14_fdtd2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_fdtd2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_const2d.dir/fig5_6_const2d.cpp.o"
+  "CMakeFiles/fig5_6_const2d.dir/fig5_6_const2d.cpp.o.d"
+  "fig5_6_const2d"
+  "fig5_6_const2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_const2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_8_const3d.dir/fig7_8_const3d.cpp.o"
+  "CMakeFiles/fig7_8_const3d.dir/fig7_8_const3d.cpp.o.d"
+  "fig7_8_const3d"
+  "fig7_8_const3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_8_const3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

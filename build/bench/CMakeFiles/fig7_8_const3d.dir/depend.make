@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_8_const3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_10_banded2d.dir/fig9_10_banded2d.cpp.o"
+  "CMakeFiles/fig9_10_banded2d.dir/fig9_10_banded2d.cpp.o.d"
+  "fig9_10_banded2d"
+  "fig9_10_banded2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_10_banded2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

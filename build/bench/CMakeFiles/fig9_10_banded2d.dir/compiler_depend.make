@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_10_banded2d.
+# This may be replaced when dependencies are built.

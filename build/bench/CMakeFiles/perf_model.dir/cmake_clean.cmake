@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_model.dir/perf_model.cpp.o"
+  "CMakeFiles/perf_model.dir/perf_model.cpp.o.d"
+  "perf_model"
+  "perf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_literature.dir/table_literature.cpp.o"
+  "CMakeFiles/table_literature.dir/table_literature.cpp.o.d"
+  "table_literature"
+  "table_literature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_literature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_scalability.dir/table_scalability.cpp.o"
+  "CMakeFiles/table_scalability.dir/table_scalability.cpp.o.d"
+  "table_scalability"
+  "table_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_slopes.dir/table_slopes.cpp.o"
+  "CMakeFiles/table_slopes.dir/table_slopes.cpp.o.d"
+  "table_slopes"
+  "table_slopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_slopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_banded_jacobi.dir/banded_jacobi.cpp.o"
+  "CMakeFiles/example_banded_jacobi.dir/banded_jacobi.cpp.o.d"
+  "example_banded_jacobi"
+  "example_banded_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_banded_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

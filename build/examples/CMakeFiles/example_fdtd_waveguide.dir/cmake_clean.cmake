@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fdtd_waveguide.dir/fdtd_waveguide.cpp.o"
+  "CMakeFiles/example_fdtd_waveguide.dir/fdtd_waveguide.cpp.o.d"
+  "example_fdtd_waveguide"
+  "example_fdtd_waveguide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fdtd_waveguide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

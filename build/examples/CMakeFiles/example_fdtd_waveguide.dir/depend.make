@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fdtd_waveguide.
+# This may be replaced when dependencies are built.

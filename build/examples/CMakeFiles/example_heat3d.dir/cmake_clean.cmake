@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heat3d.dir/heat3d.cpp.o"
+  "CMakeFiles/example_heat3d.dir/heat3d.cpp.o.d"
+  "example_heat3d"
+  "example_heat3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heat3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sor_poisson.dir/sor_poisson.cpp.o"
+  "CMakeFiles/example_sor_poisson.dir/sor_poisson.cpp.o.d"
+  "example_sor_poisson"
+  "example_sor_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sor_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

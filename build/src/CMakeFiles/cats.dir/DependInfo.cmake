@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/pluto_params.cpp" "src/CMakeFiles/cats.dir/baseline/pluto_params.cpp.o" "gcc" "src/CMakeFiles/cats.dir/baseline/pluto_params.cpp.o.d"
+  "/root/repo/src/bench_harness/ascii_plot.cpp" "src/CMakeFiles/cats.dir/bench_harness/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/cats.dir/bench_harness/ascii_plot.cpp.o.d"
+  "/root/repo/src/bench_harness/machine.cpp" "src/CMakeFiles/cats.dir/bench_harness/machine.cpp.o" "gcc" "src/CMakeFiles/cats.dir/bench_harness/machine.cpp.o.d"
+  "/root/repo/src/bench_harness/report.cpp" "src/CMakeFiles/cats.dir/bench_harness/report.cpp.o" "gcc" "src/CMakeFiles/cats.dir/bench_harness/report.cpp.o.d"
+  "/root/repo/src/bench_harness/timing.cpp" "src/CMakeFiles/cats.dir/bench_harness/timing.cpp.o" "gcc" "src/CMakeFiles/cats.dir/bench_harness/timing.cpp.o.d"
+  "/root/repo/src/cachesim/cache_model.cpp" "src/CMakeFiles/cats.dir/cachesim/cache_model.cpp.o" "gcc" "src/CMakeFiles/cats.dir/cachesim/cache_model.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/CMakeFiles/cats.dir/core/selector.cpp.o" "gcc" "src/CMakeFiles/cats.dir/core/selector.cpp.o.d"
+  "/root/repo/src/simd/detect.cpp" "src/CMakeFiles/cats.dir/simd/detect.cpp.o" "gcc" "src/CMakeFiles/cats.dir/simd/detect.cpp.o.d"
+  "/root/repo/src/sysinfo/cache_info.cpp" "src/CMakeFiles/cats.dir/sysinfo/cache_info.cpp.o" "gcc" "src/CMakeFiles/cats.dir/sysinfo/cache_info.cpp.o.d"
+  "/root/repo/src/threads/thread_pool.cpp" "src/CMakeFiles/cats.dir/threads/thread_pool.cpp.o" "gcc" "src/CMakeFiles/cats.dir/threads/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats.dir/baseline/pluto_params.cpp.o"
+  "CMakeFiles/cats.dir/baseline/pluto_params.cpp.o.d"
+  "CMakeFiles/cats.dir/bench_harness/ascii_plot.cpp.o"
+  "CMakeFiles/cats.dir/bench_harness/ascii_plot.cpp.o.d"
+  "CMakeFiles/cats.dir/bench_harness/machine.cpp.o"
+  "CMakeFiles/cats.dir/bench_harness/machine.cpp.o.d"
+  "CMakeFiles/cats.dir/bench_harness/report.cpp.o"
+  "CMakeFiles/cats.dir/bench_harness/report.cpp.o.d"
+  "CMakeFiles/cats.dir/bench_harness/timing.cpp.o"
+  "CMakeFiles/cats.dir/bench_harness/timing.cpp.o.d"
+  "CMakeFiles/cats.dir/cachesim/cache_model.cpp.o"
+  "CMakeFiles/cats.dir/cachesim/cache_model.cpp.o.d"
+  "CMakeFiles/cats.dir/core/selector.cpp.o"
+  "CMakeFiles/cats.dir/core/selector.cpp.o.d"
+  "CMakeFiles/cats.dir/simd/detect.cpp.o"
+  "CMakeFiles/cats.dir/simd/detect.cpp.o.d"
+  "CMakeFiles/cats.dir/sysinfo/cache_info.cpp.o"
+  "CMakeFiles/cats.dir/sysinfo/cache_info.cpp.o.d"
+  "CMakeFiles/cats.dir/threads/thread_pool.cpp.o"
+  "CMakeFiles/cats.dir/threads/thread_pool.cpp.o.d"
+  "libcats.a"
+  "libcats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_box_kernels.dir/test_box_kernels.cpp.o"
+  "CMakeFiles/test_box_kernels.dir/test_box_kernels.cpp.o.d"
+  "test_box_kernels"
+  "test_box_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_box_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachesim_schemes.dir/test_cachesim_schemes.cpp.o"
+  "CMakeFiles/test_cachesim_schemes.dir/test_cachesim_schemes.cpp.o.d"
+  "test_cachesim_schemes"
+  "test_cachesim_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachesim_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float32.dir/test_float32.cpp.o"
+  "CMakeFiles/test_float32.dir/test_float32.cpp.o.d"
+  "test_float32"
+  "test_float32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

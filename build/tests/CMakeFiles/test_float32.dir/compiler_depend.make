@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_float32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gauss_seidel.dir/test_gauss_seidel.cpp.o"
+  "CMakeFiles/test_gauss_seidel.dir/test_gauss_seidel.cpp.o.d"
+  "test_gauss_seidel"
+  "test_gauss_seidel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gauss_seidel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gauss_seidel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schemes_1d.dir/test_schemes_1d.cpp.o"
+  "CMakeFiles/test_schemes_1d.dir/test_schemes_1d.cpp.o.d"
+  "test_schemes_1d"
+  "test_schemes_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schemes_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schemes_2d.dir/test_schemes_2d.cpp.o"
+  "CMakeFiles/test_schemes_2d.dir/test_schemes_2d.cpp.o.d"
+  "test_schemes_2d"
+  "test_schemes_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schemes_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

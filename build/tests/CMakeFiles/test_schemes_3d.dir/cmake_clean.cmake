@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schemes_3d.dir/test_schemes_3d.cpp.o"
+  "CMakeFiles/test_schemes_3d.dir/test_schemes_3d.cpp.o.d"
+  "test_schemes_3d"
+  "test_schemes_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schemes_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

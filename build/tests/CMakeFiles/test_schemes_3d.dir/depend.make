@@ -1,0 +1,2 @@
+# Empty dependencies file for test_schemes_3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selector.dir/test_selector.cpp.o"
+  "CMakeFiles/test_selector.dir/test_selector.cpp.o.d"
+  "test_selector"
+  "test_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd.dir/test_simd.cpp.o"
+  "CMakeFiles/test_simd.dir/test_simd.cpp.o.d"
+  "test_simd"
+  "test_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

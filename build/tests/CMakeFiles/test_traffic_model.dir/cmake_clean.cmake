@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_model.dir/test_traffic_model.cpp.o"
+  "CMakeFiles/test_traffic_model.dir/test_traffic_model.cpp.o.d"
+  "test_traffic_model"
+  "test_traffic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

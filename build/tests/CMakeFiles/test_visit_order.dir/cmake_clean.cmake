@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visit_order.dir/test_visit_order.cpp.o"
+  "CMakeFiles/test_visit_order.dir/test_visit_order.cpp.o.d"
+  "test_visit_order"
+  "test_visit_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visit_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
