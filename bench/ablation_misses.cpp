@@ -35,7 +35,8 @@ std::uint64_t sim3d(Scheme s, int side, int T, std::size_t z, int bands) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_config(argc, argv);  // --json / env knobs
   print_banner(std::cout, "Ablation: simulated DRAM traffic per scheme");
   const std::size_t z = 256 * 1024;  // scaled-down cache for fast simulation
   std::cout << "cache model: " << fmt_mib(z) << ", 16-way, 64B lines\n\n";

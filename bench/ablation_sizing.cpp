@@ -11,8 +11,8 @@
 using namespace cats;
 using namespace cats::bench;
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Ablation: TZ / BZ sizing vs. Eq. 1 / Eq. 2");
   const int side = cfg.full ? 4096 : 2048;
   const int T = 50;

@@ -14,8 +14,8 @@
 using namespace cats;
 using namespace cats::bench;
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Optimizer families: naive / tiled / oblivious / CATS");
   RunOptions serial = options_for(cfg, Scheme::Naive);
   serial.threads = 1;

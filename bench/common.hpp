@@ -6,9 +6,14 @@
 //   CATS_BENCH_THREADS=N   worker threads (default: hardware concurrency)
 //   CATS_BENCH_CACHE_KB=N  cache parameter Z for CATS (default: detected L2)
 //   CATS_BENCH_REPS=N      repetitions per point, median reported (default 1)
+//   CATS_BENCH_JSON=path   machine-readable BENCH_*.json output
+//   CATS_BENCH_TUNE=db|search  tuning DB policy for Scheme::Auto points
+//
+// CLI flags (override the environment): --json <path>, --tune db|search.
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -17,6 +22,7 @@
 #include "bench_harness/report.hpp"
 #include "bench_harness/timing.hpp"
 #include "core/run.hpp"
+#include "tune/tuner.hpp"
 
 namespace cats::bench {
 
@@ -25,6 +31,7 @@ struct BenchConfig {
   int threads = 1;
   std::size_t cache_bytes = 0;  // 0 = detect
   int reps = 1;
+  Tuning tuning = Tuning::Off;
 };
 
 inline int env_int(const char* name, int dflt) {
@@ -35,7 +42,13 @@ inline int env_int(const char* name, int dflt) {
   return dflt;
 }
 
-inline BenchConfig bench_config() {
+inline Tuning parse_tuning(const char* v) {
+  if (v && std::strcmp(v, "db") == 0) return Tuning::UseDb;
+  if (v && std::strcmp(v, "search") == 0) return Tuning::Search;
+  return Tuning::Off;
+}
+
+inline BenchConfig bench_config(int argc = 0, char** argv = nullptr) {
   BenchConfig c;
   c.full = std::getenv("CATS_BENCH_FULL") != nullptr;
   c.threads = env_int("CATS_BENCH_THREADS",
@@ -43,6 +56,12 @@ inline BenchConfig bench_config() {
   if (c.threads < 1) c.threads = 1;
   c.cache_bytes = static_cast<std::size_t>(env_int("CATS_BENCH_CACHE_KB", 0)) * 1024;
   c.reps = env_int("CATS_BENCH_REPS", 1);
+  if (const char* j = std::getenv("CATS_BENCH_JSON")) json_log().enable(j);
+  c.tuning = parse_tuning(std::getenv("CATS_BENCH_TUNE"));
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_log().enable(argv[i + 1]);
+    if (std::strcmp(argv[i], "--tune") == 0) c.tuning = parse_tuning(argv[i + 1]);
+  }
   return c;
 }
 
@@ -51,7 +70,29 @@ inline RunOptions options_for(const BenchConfig& c, Scheme s) {
   opt.threads = c.threads;
   opt.cache_bytes = c.cache_bytes;
   opt.scheme = s;
+  opt.tuning = c.tuning;
   return opt;
+}
+
+/// Tuning::Search resolution: the bench harness owns a kernel factory, so a
+/// DB miss can be filled by an actual neighborhood search here (run() itself
+/// degrades Search to UseDb — it has no factory). Downgrades `opt` to UseDb
+/// afterwards so the timed runs below pay only a cached lookup.
+template <class MakeKernel>
+void ensure_tuned(MakeKernel&& make_kernel, int T, RunOptions& opt) {
+  if (opt.tuning != Tuning::Search || opt.scheme != Scheme::Auto) return;
+  auto k = make_kernel();
+  tune::DbKey key;
+  key.machine = machine_fingerprint();
+  key.kernel = kernel_tuning_id(k);
+  key.shape = tune::shape_bucket(domain_shape(k));
+  key.threads = opt.threads;
+  const std::string path =
+      opt.tuning_db_path ? opt.tuning_db_path : tune::TuneDb::default_path();
+  if (!tune::cached_lookup(path, key)) {
+    tune::search_and_store(make_kernel, T, opt, path);
+  }
+  opt.tuning = Tuning::UseDb;
 }
 
 /// Median wall seconds of `reps` runs; make_kernel() -> fresh initialized
@@ -59,12 +100,14 @@ inline RunOptions options_for(const BenchConfig& c, Scheme s) {
 template <class MakeKernel>
 double time_scheme(MakeKernel&& make_kernel, int T, const RunOptions& opt,
                    int reps, SchemeChoice* choice_out = nullptr) {
+  RunOptions ropt = opt;
+  ensure_tuned(make_kernel, T, ropt);
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     auto k = make_kernel();
     Timer timer;
-    const SchemeChoice c = run(k, T, opt);
+    const SchemeChoice c = run(k, T, ropt);
     samples.push_back(timer.seconds());
     if (choice_out) *choice_out = c;
   }

@@ -32,8 +32,8 @@ double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
 
 }  // namespace
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Fig. 13/14: 2D FDTD (fused kernel)");
   std::cout << "threads=" << cfg.threads
             << (cfg.full ? " (paper-scale sweep)" : " (reduced sweep; CATS_BENCH_FULL=1 for paper scale)")

@@ -25,8 +25,8 @@ double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
 
 }  // namespace
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Fig. 7/8: constant 7-point stencil, 3D");
   std::cout << "threads=" << cfg.threads
             << (cfg.full ? " (paper-scale sweep)" : " (reduced sweep; CATS_BENCH_FULL=1 for paper scale)")

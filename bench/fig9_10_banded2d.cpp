@@ -28,8 +28,8 @@ double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
 
 }  // namespace
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Fig. 9/10: 5-band matrix (variable stencil), 2D");
   std::cout << "threads=" << cfg.threads
             << (cfg.full ? " (paper-scale sweep)" : " (reduced sweep; CATS_BENCH_FULL=1 for paper scale)")

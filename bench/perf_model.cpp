@@ -13,8 +13,8 @@
 using namespace cats;
 using namespace cats::bench;
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Performance model: predicted vs measured");
   std::cout << "characterizing machine...\n";
   const MachineProfile prof = profile_machine(0.3);

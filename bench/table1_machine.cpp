@@ -9,7 +9,8 @@
 using namespace cats;
 using namespace cats::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_config(argc, argv);  // --json / env knobs
   print_banner(std::cout, "Table I: machine characterization");
   std::cout << "\n";
   const MachineProfile p = profile_machine(0.4);

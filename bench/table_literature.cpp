@@ -17,8 +17,8 @@
 using namespace cats;
 using namespace cats::bench;
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Sec. III-F: literature comparison (giga updates/sec)");
   std::cout << (cfg.full ? "paper-scale sizes\n\n" : "reduced sizes; CATS_BENCH_FULL=1 for paper scale\n\n");
 

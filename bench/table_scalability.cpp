@@ -10,8 +10,8 @@
 using namespace cats;
 using namespace cats::bench;
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Sec. III-D: CATS scalability, 3D 7-point, T=100");
   const double millions = cfg.full ? 128 : 16;
   const int side = side_3d(millions);

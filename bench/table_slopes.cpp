@@ -34,8 +34,8 @@ void bench_slope(const BenchConfig& cfg, int side, int T, Table& t) {
 
 }  // namespace
 
-int main() {
-  const BenchConfig cfg = bench_config();
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Sec. III-E: larger stencils, 3D, T=100");
   const double millions = cfg.full ? 128 : 16;
   const int side = side_3d(millions);

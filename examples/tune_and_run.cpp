@@ -1,0 +1,53 @@
+// Tune once, run fast forever: the empirical-autotuning workflow.
+//
+// Pass 1 searches the neighborhood of the analytic Eq. 1/2 parameters with
+// short pilot runs and persists the winner in a tuning database keyed by
+// machine x kernel x domain shape. Pass 2 is an ordinary production run with
+// RunOptions::tuning = UseDb: Scheme::Auto consults the database before the
+// formulas, so the tuned tile sizes apply with zero search cost.
+//
+//   $ ./example_tune_and_run [side] [T] [db.json]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_harness/timing.hpp"
+#include "core/run.hpp"
+#include "kernels/const2d.hpp"
+#include "tune/tuner.hpp"
+
+int main(int argc, char** argv) {
+  const int side = argc > 1 ? std::atoi(argv[1]) : 1536;
+  const int T = argc > 2 ? std::atoi(argv[2]) : 100;
+  const std::string db = argc > 3 ? argv[3] : "tune_and_run.db.json";
+
+  auto make = [&] {
+    cats::ConstStar2D<1> k(side, side, cats::default_star2d_weights<1>());
+    k.init([](int x, int y) { return 0.01 * x + 0.02 * y; }, 0.0);
+    return k;
+  };
+
+  cats::RunOptions opt;  // detected cache, Auto scheme
+  opt.threads = 2;
+
+  // Pass 1: pilot search around the analytic seed, persisted to `db`.
+  cats::tune::TuneConfig cfg;
+  cfg.budget_seconds = 10.0;
+  const cats::tune::TuneResult r =
+      cats::tune::search_and_store(make, T, opt, db, cfg);
+  std::cout << "searched " << r.all.size() << " candidates; best "
+            << r.entry.scheme << " tz=" << r.entry.tz << " bz=" << r.entry.bz
+            << "  (pilot " << r.best_seconds << " s vs analytic "
+            << r.analytic_seconds << " s)\n";
+
+  // Pass 2: a normal run that picks the stored winner up from the database.
+  opt.tuning = cats::Tuning::UseDb;
+  opt.tuning_db_path = db.c_str();
+  auto kernel = make();
+  cats::bench::Timer timer;
+  const cats::SchemeChoice used = cats::run(kernel, T, opt);
+  std::cout << "production run: " << cats::scheme_name(used.scheme)
+            << " tz=" << used.tz << " bz=" << used.bz << " in "
+            << timer.seconds() << " s  (db: " << db << ")\n";
+  return 0;
+}

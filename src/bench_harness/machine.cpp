@@ -1,6 +1,9 @@
 #include "bench_harness/machine.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
 
 #include "bench_harness/timing.hpp"
 #include "grid/aligned_buffer.hpp"
@@ -15,7 +18,32 @@ using simd::VecD;
 // Sink that the optimizer cannot see through.
 volatile double g_sink = 0.0;
 
+std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::string name = line.substr(colon + 1);
+      const auto b = name.find_first_not_of(" \t");
+      if (b != std::string::npos) name = name.substr(b);
+      return name;
+    }
+  }
+  return "unknown-cpu";
+}
+
 }  // namespace
+
+std::string machine_fingerprint() {
+  const CacheInfo ci = detect_cache_info();
+  std::ostringstream os;
+  os << cpu_model_name() << "|l1d=" << ci.l1d_bytes << "|l2=" << ci.l2_bytes
+     << "|l3=" << ci.l3_bytes << "|hw=" << std::thread::hardware_concurrency()
+     << "|" << simd::kIsaName << "x" << simd::kWidth;
+  return os.str();
+}
 
 double measure_copy_bandwidth(std::size_t working_set_bytes, double seconds_budget) {
   // Two arrays that together occupy the working set.

@@ -10,8 +10,16 @@
 //   50% of stencil peak").
 
 #include <cstddef>
+#include <string>
 
 namespace cats::bench {
+
+/// Stable identity string for the executing machine: CPU model, cache
+/// topology, hardware thread count and the SIMD ISA the binary selected.
+/// Keys the persistent tuning database — tuned parameters from one machine
+/// must never be applied on another (or on the same machine after a rebuild
+/// that changes the vector width).
+std::string machine_fingerprint();
 
 /// Streaming copy bandwidth over a working set (GB/s, counting read+write).
 double measure_copy_bandwidth(std::size_t working_set_bytes,

@@ -1,13 +1,18 @@
 #include "bench_harness/report.hpp"
 
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 #include <thread>
 
+#include "bench_harness/machine.hpp"
 #include "simd/detect.hpp"
 #include "simd/vecd.hpp"
 #include "sysinfo/cache_info.hpp"
+#include "tune/json.hpp"
 
 namespace cats::bench {
 
@@ -36,6 +41,76 @@ void Table::print(std::ostream& os) const {
   for (std::size_t c = 0; c < w.size(); ++c) rule += "  " + std::string(w[c], '-');
   os << rule << '\n';
   for (const auto& row : rows_) line(row);
+
+  if (json_log().enabled()) json_log().add_table({}, *this);
+}
+
+void JsonLog::enable(std::string path) {
+  const bool was_enabled = enabled();
+  path_ = std::move(path);
+  if (!was_enabled && enabled()) {
+    std::atexit([] {
+      if (!json_log().flush())
+        std::cerr << "warning: could not write JSON report to "
+                  << json_log().path() << "\n";
+    });
+  }
+}
+
+void JsonLog::set_title(std::string title) { title_ = std::move(title); }
+
+void JsonLog::add_table(std::string caption, const Table& t) {
+  tables_.push_back({std::move(caption), t.headers(), t.rows()});
+}
+
+void JsonLog::add_scalar(std::string key, double value) {
+  scalars_.emplace_back(std::move(key), value);
+}
+
+std::string JsonLog::to_json() const {
+  using tune::json_number;
+  using tune::json_quote;
+  std::ostringstream os;
+  os << "{\n  \"title\": " << json_quote(title_) << ",\n  \"machine\": {"
+     << "\"fingerprint\": " << json_quote(machine_fingerprint()) << ", "
+     << "\"caches\": " << json_quote(cache_info_string(detect_cache_info()))
+     << ", \"simd\": " << json_quote(simd::kIsaName)
+     << ", \"hw_threads\": " << std::thread::hardware_concurrency() << "},\n";
+  os << "  \"tables\": [";
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const Recorded& t = tables_[i];
+    os << (i ? "," : "") << "\n    {\"caption\": " << json_quote(t.caption)
+       << ", \"headers\": [";
+    for (std::size_t c = 0; c < t.headers.size(); ++c)
+      os << (c ? ", " : "") << json_quote(t.headers[c]);
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      os << (r ? ", " : "") << "[";
+      for (std::size_t c = 0; c < t.rows[r].size(); ++c)
+        os << (c ? ", " : "") << json_quote(t.rows[r][c]);
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << "\n  ],\n  \"scalars\": {";
+  for (std::size_t i = 0; i < scalars_.size(); ++i)
+    os << (i ? ", " : "") << json_quote(scalars_[i].first) << ": "
+       << json_number(scalars_[i].second);
+  os << "}\n}\n";
+  return os.str();
+}
+
+bool JsonLog::flush() const {
+  if (!enabled()) return false;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out.flush());
+}
+
+JsonLog& json_log() {
+  static JsonLog log;
+  return log;
 }
 
 std::string fmt_fixed(double v, int precision) {
@@ -58,6 +133,7 @@ std::string fmt_mib(std::size_t bytes) {
 }
 
 void print_banner(std::ostream& os, const std::string& title) {
+  if (json_log().enabled()) json_log().set_title(title);
   os << "== " << title << " ==\n";
   os << "cpu: " << simd::cpu_features_string()
      << " | simd width used: " << simd::kWidth << " doubles (" << simd::kIsaName

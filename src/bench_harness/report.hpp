@@ -9,17 +9,54 @@
 
 namespace cats::bench {
 
-/// Fixed-width text table.
+/// Fixed-width text table. print() also records the table into the global
+/// JsonLog when --json output is enabled, so every bench table lands in the
+/// machine-readable log without per-bench wiring.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);
   void add_row(std::vector<std::string> cells);
   void print(std::ostream& os) const;
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Machine-readable run log for the perf trajectory. Enabled by
+/// `--json <path>` on the bench binaries (see bench/common.hpp) or the
+/// CATS_BENCH_JSON env var; every printed Table plus the banner metadata is
+/// written as one JSON document on flush() (registered atexit on enable()).
+class JsonLog {
+ public:
+  void enable(std::string path);
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  void set_title(std::string title);
+  void add_table(std::string caption, const Table& t);
+  void add_scalar(std::string key, double value);
+  /// Serialize the document (exposed for tests).
+  std::string to_json() const;
+  /// Write to the enabled path; false on IO failure or when disabled.
+  bool flush() const;
+
+ private:
+  struct Recorded {
+    std::string caption;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::string path_;
+  std::string title_;
+  std::vector<Recorded> tables_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
+
+/// The process-wide log Table::print and print_banner feed.
+JsonLog& json_log();
 
 std::string fmt_fixed(double v, int precision);
 std::string fmt_sci(double v, int precision);

@@ -22,6 +22,18 @@ enum class Scheme {
   PlutoLike, ///< baseline: multi-dimensional time-skewed tiling (see src/baseline)
 };
 
+/// Empirical-tuning policy (src/tune). The paper's Eq. 1/2 are analytic; on
+/// real machines the usable cache share and the best slack drift, so tuned
+/// parameters measured by `cats_tune` can be persisted and reused.
+enum class Tuning {
+  Off,    ///< pure analytic selection (bit-identical to the pre-tuning library)
+  UseDb,  ///< Scheme::Auto consults the tuning DB first, falls back to Eq. 1/2
+  Search, ///< like UseDb; harnesses with a kernel factory (bench/common.hpp,
+          ///< tune::search) run a pilot neighborhood search on a DB miss and
+          ///< persist the winner. Inside run() itself (no factory: pilots
+          ///< would advance the caller's simulation state) it acts as UseDb.
+};
+
 struct RunOptions {
   /// Worker threads (the caller is one of them).
   int threads = 1;
@@ -48,6 +60,13 @@ struct RunOptions {
   int tz_override = 0;  ///< CATS1 temporal tile height TZ
   int bz_override = 0;  ///< CATS2/CATS3 diamond width BZ
   int bx_override = 0;  ///< CATS3 x-parallelogram width BX
+
+  /// Empirical-tuning policy; Off keeps selection purely analytic.
+  Tuning tuning = Tuning::Off;
+
+  /// Tuning DB location; nullptr = tune::TuneDb::default_path()
+  /// ($CATS_TUNE_DB, else ~/.cache/cats/tune.json).
+  const char* tuning_db_path = nullptr;
 };
 
 }  // namespace cats

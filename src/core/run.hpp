@@ -37,12 +37,18 @@ DomainShape domain_shape(const K& k) {
 }
 
 /// Scheme + parameters that run(k, T, opt) would use (without running).
+/// With opt.tuning != Off and Scheme::Auto, the persistent tuning DB is
+/// consulted first (apply_tuning); a miss falls back to Eq. 1/2 unchanged.
 template <class K>
   requires RowKernel1D<K> || RowKernel2D<K> || RowKernel3D<K>
 SchemeChoice plan(const K& k, int T, const RunOptions& opt) {
   const KernelCosts costs{k.slope(), effective_cs(k, opt.cs_slack),
                           kernel_element_bytes(k)};
-  return select_scheme(domain_shape(k), costs, opt, T);
+  const DomainShape d = domain_shape(k);
+  if (opt.tuning != Tuning::Off) {
+    return select_scheme(d, costs, apply_tuning(opt, kernel_tuning_id(k), d), T);
+  }
+  return select_scheme(d, costs, opt, T);
 }
 
 /// Apply the kernel's stencil T times with the selected scheme.
@@ -66,33 +72,40 @@ SchemeChoice run(K& k, int T, const RunOptions& opt) {
     return choice;
   }
 
-  const SchemeChoice choice = plan(k, T, opt);
+  // Resolve tuning once so a DB entry's thread count (run_threads) also
+  // reaches the executing scheme, not just the tile parameters. plan() on the
+  // resolved options is a no-op second lookup: a hit made scheme explicit.
+  RunOptions eff = opt;
+  if (opt.tuning != Tuning::Off) {
+    eff = apply_tuning(opt, kernel_tuning_id(k), domain_shape(k));
+  }
+  const SchemeChoice choice = plan(k, T, eff);
   if (T <= 0) return choice;
   switch (choice.scheme) {
     case Scheme::Naive:
-      run_naive(k, T, opt);
+      run_naive(k, T, eff);
       break;
     case Scheme::Cats1:
-      run_cats1(k, T, opt, choice.tz);
+      run_cats1(k, T, eff, choice.tz);
       break;
     case Scheme::Cats2:
       if constexpr (RowKernel1D<K>) {
-        run_cats1(k, T, opt, std::max(1, choice.tz));  // 1D: CATS1 is CATS(d)
+        run_cats1(k, T, eff, std::max(1, choice.tz));  // 1D: CATS1 is CATS(d)
       } else {
-        run_cats2(k, T, opt, choice.bz);
+        run_cats2(k, T, eff, choice.bz);
       }
       break;
     case Scheme::Cats3:
       if constexpr (RowKernel3D<K>) {
-        run_cats3(k, T, opt, choice.bz, choice.bx);
+        run_cats3(k, T, eff, choice.bz, choice.bx);
       } else if constexpr (RowKernel2D<K>) {
-        run_cats2(k, T, opt, choice.bz);  // selector clamps 2D to CATS2
+        run_cats2(k, T, eff, choice.bz);  // selector clamps 2D to CATS2
       } else {
-        run_cats1(k, T, opt, std::max(1, choice.tz));
+        run_cats1(k, T, eff, std::max(1, choice.tz));
       }
       break;
     case Scheme::PlutoLike:
-      run_pluto_like(k, T, opt);
+      run_pluto_like(k, T, eff);
       break;
     case Scheme::Auto:
       break;  // unreachable: select_scheme never returns Auto

@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bench_harness/machine.hpp"
 #include "sysinfo/cache_info.hpp"
+#include "tune/db.hpp"
 
 namespace cats {
+
+namespace {
+
+/// Eq. 2 before the 2s clamp; the Auto path inspects the raw value to detect
+/// caches too small for any time skewing at all.
+double raw_bz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& k) {
+  const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
+  const double bz2 = 2.0 * k.slope * zd * static_cast<double>(d.wmax) *
+                     static_cast<double>(d.wmax2) /
+                     (k.cs_eff * static_cast<double>(d.n));
+  return std::sqrt(std::max(bz2, 0.0));
+}
+
+}  // namespace
 
 int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& k) {
   const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
@@ -17,11 +33,7 @@ int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts&
 
 std::int64_t compute_bz(std::size_t cache_bytes, const DomainShape& d,
                         const KernelCosts& k) {
-  const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
-  const double bz2 = 2.0 * k.slope * zd * static_cast<double>(d.wmax) *
-                     static_cast<double>(d.wmax2) /
-                     (k.cs_eff * static_cast<double>(d.n));
-  const auto bz = static_cast<std::int64_t>(std::sqrt(std::max(bz2, 0.0)));
+  const auto bz = static_cast<std::int64_t>(raw_bz(cache_bytes, d, k));
   return std::max<std::int64_t>(bz, 2ll * k.slope);
 }
 
@@ -74,6 +86,13 @@ SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
   // the naive scheme). Otherwise: CATS(k-1) while its wavefront spans at
   // least min_wavefront_timesteps, else CATS(k).
   const int tz = opt.tz_override ? opt.tz_override : compute_tz(z, d, k);
+  // Degenerate cache (Z below even one 2s-wide diamond's working set, e.g. a
+  // deliberately tiny Z parameter): no wavefront of any CATS scheme can stay
+  // resident, so time skewing only adds tile overhead — stream naively.
+  if (d.dims >= 2 && tz == 0 && !opt.tz_override && !opt.bz_override &&
+      raw_bz(z, d, k) < 2.0 * k.slope) {
+    return {Scheme::Naive, 0, 0, 0};
+  }
   if (d.dims == 1 || tz >= opt.min_wavefront_timesteps || tz >= T) {
     return {Scheme::Cats1, std::max(1, std::min(tz, T)), 0, 0};
   }
@@ -89,6 +108,42 @@ SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
             std::max<std::int64_t>(bx, 2ll * k.slope)};
   }
   return {Scheme::Cats2, 0, bz, 0};
+}
+
+RunOptions apply_tuning(const RunOptions& opt, const std::string& kernel_id,
+                        const DomainShape& d) {
+  if (opt.tuning == Tuning::Off || opt.scheme != Scheme::Auto) return opt;
+
+  tune::DbKey key;
+  key.machine = bench::machine_fingerprint();
+  key.kernel = kernel_id;
+  key.scheme_key = "auto";
+  key.shape = tune::shape_bucket(d);
+  key.threads = opt.threads;
+
+  const std::string path =
+      opt.tuning_db_path ? opt.tuning_db_path : tune::TuneDb::default_path();
+  const std::optional<tune::DbEntry> e = tune::cached_lookup(path, key);
+  if (!e) return opt;
+
+  RunOptions tuned = opt;
+  if (e->run_threads > 0 && e->run_threads <= opt.threads)
+    tuned.threads = e->run_threads;
+  if (e->scheme == "Naive") {
+    tuned.scheme = Scheme::Naive;
+  } else if (e->scheme == "CATS1" && e->tz > 0) {
+    tuned.scheme = Scheme::Cats1;
+    tuned.tz_override = e->tz;
+  } else if (e->scheme == "CATS2" && e->bz > 0) {
+    tuned.scheme = Scheme::Cats2;
+    tuned.bz_override = static_cast<int>(e->bz);
+  } else if (e->scheme == "CATS3" && e->bz > 0) {
+    tuned.scheme = Scheme::Cats3;
+    tuned.bz_override = static_cast<int>(e->bz);
+    tuned.bx_override = static_cast<int>(e->bx > 0 ? e->bx : e->bz);
+  }
+  // Unrecognized scheme names (newer DB version) leave opt untouched.
+  return tuned;
 }
 
 }  // namespace cats

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/options.hpp"
 
@@ -56,5 +57,15 @@ SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
 
 /// opt.cache_bytes, or the detected per-core private L2 when 0.
 std::size_t resolve_cache_bytes(const RunOptions& opt);
+
+/// Empirical-tuning resolution (Section "Tuning" in DESIGN.md). When
+/// opt.tuning != Off and opt.scheme == Auto, look the (machine fingerprint,
+/// kernel_id, shape bucket, threads) key up in the persistent tuning DB and,
+/// on a hit from THIS machine, return a copy of opt with the tuned scheme and
+/// tile parameters applied as explicit settings. Misses — including a
+/// missing/corrupt DB file or an entry recorded on another machine — return
+/// opt unchanged, so Eq. 1/2 selection proceeds exactly as with tuning Off.
+RunOptions apply_tuning(const RunOptions& opt, const std::string& kernel_id,
+                        const DomainShape& d);
 
 }  // namespace cats

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <vector>
+#include <string>
 
 #include "grid/grid2d.hpp"
 #include "simd/vecd.hpp"
@@ -34,6 +35,7 @@ class Banded2D {
   double flops_per_point() const { return 8.0 * S + 1.0; }
   double state_doubles_per_point() const { return 1.0; }
   double extra_cache_doubles_per_point() const { return kBands; }
+  std::string tune_id() const { return "banded2d/s" + std::to_string(S); }
 
   /// Band order: 0 = center, then per k=1..S: x-k, x+k, y-k, y+k.
   Grid2D<double>& band(int b) { return bands_[static_cast<std::size_t>(b)]; }

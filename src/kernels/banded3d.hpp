@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <vector>
+#include <string>
 
 #include "grid/grid3d.hpp"
 #include "simd/vecd.hpp"
@@ -32,6 +33,7 @@ class Banded3D {
   double flops_per_point() const { return 12.0 * S + 1.0; }
   double state_doubles_per_point() const { return 1.0; }
   double extra_cache_doubles_per_point() const { return kBands; }
+  std::string tune_id() const { return "banded3d/s" + std::to_string(S); }
 
   /// Band order: 0 = center, then per k=1..S: x-k, x+k, y-k, y+k, z-k, z+k.
   Grid3D<double>& band(int b) { return bands_[static_cast<std::size_t>(b)]; }

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <vector>
+#include <string>
 
 #include "grid/grid2d.hpp"
 #include "simd/vecd.hpp"
@@ -37,6 +38,7 @@ class ConstStar2D {
   double flops_per_point() const { return 8.0 * S + 1.0; }
   double state_doubles_per_point() const { return 1.0; }
   double extra_cache_doubles_per_point() const { return 0.0; }
+  std::string tune_id() const { return "const2d/s" + std::to_string(S); }
 
   /// Set initial interior values u(x,y,t=0) and constant boundary `bnd`.
   template <class F>

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <vector>
+#include <string>
 
 #include "grid/grid2d.hpp"
 #include "simd/vecd.hpp"
@@ -35,6 +36,7 @@ class FloatStar2D {
   double flops_per_point() const { return 8.0 * S + 1.0; }
   double state_doubles_per_point() const { return 1.0; }  // state *elements*
   double extra_cache_doubles_per_point() const { return 0.0; }
+  std::string tune_id() const { return "const2d_f32/s" + std::to_string(S); }
   double element_bytes() const { return 4.0; }
 
   template <class F>

@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 #include <vector>
+#include <string>
 
 #include "grid/grid3d.hpp"
 #include "simd/vecd.hpp"
@@ -35,6 +36,7 @@ class ConstStar3D {
   double flops_per_point() const { return 12.0 * S + 1.0; }
   double state_doubles_per_point() const { return 1.0; }
   double extra_cache_doubles_per_point() const { return 0.0; }
+  std::string tune_id() const { return "const3d/s" + std::to_string(S); }
 
   template <class F>
   void init(F&& f, double bnd = 0.0) {

@@ -1,0 +1,101 @@
+#include "tune/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_harness/machine.hpp"
+#include "bench_harness/timing.hpp"
+#include "core/run.hpp"
+#include "kernels/const2d.hpp"
+#include "sysinfo/cache_info.hpp"
+
+namespace cats::tune {
+
+namespace {
+
+// Fractions of the nominal last private level the bandwidth sweep probes.
+constexpr double kFractions[] = {0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0, 1.25};
+
+double time_slack_pilot(int side, int T, double slack) {
+  ConstStar2D<1> k(side, side, default_star2d_weights<1>());
+  k.init([](int x, int y) { return 0.01 * x + 0.02 * y; }, 0.0);
+  RunOptions opt;
+  opt.threads = 1;
+  opt.cs_slack = slack;
+  opt.scheme = Scheme::Auto;
+  bench::Timer t;
+  run(k, T, opt);
+  return t.seconds();
+}
+
+}  // namespace
+
+Calibration calibrate_machine(const CalibrationConfig& cfg) {
+  Calibration c;
+  const CacheInfo ci = detect_cache_info();
+  c.nominal_cache_bytes = ci.last_private_bytes();
+  c.effective_cache_bytes = c.nominal_cache_bytes;
+
+  // --- Effective cache: copy-bandwidth knee ------------------------------
+  // A working set that fits the (usable share of the) cache copies at cache
+  // speed; past the usable share bandwidth falls toward memory speed. We call
+  // a point "cached" while its bandwidth clears the geometric mean of the
+  // fastest (surely cached) and the memory (surely uncached) measurements —
+  // the midpoint of the knee on a log scale.
+  c.memory_bw_gbps =
+      bench::measure_copy_bandwidth(8 * c.nominal_cache_bytes,
+                                    cfg.seconds_per_bw_point);
+  double best_bw = 0.0;
+  for (double f : kFractions) {
+    const auto ws = static_cast<std::size_t>(f * static_cast<double>(c.nominal_cache_bytes));
+    const double bw = bench::measure_copy_bandwidth(ws, cfg.seconds_per_bw_point);
+    c.bw_curve.emplace_back(ws, bw);
+    best_bw = std::max(best_bw, bw);
+  }
+  const double knee = std::sqrt(std::max(best_bw, 1e-9) *
+                                std::max(c.memory_bw_gbps, 1e-9));
+  std::size_t usable = 0;
+  for (const auto& [ws, bw] : c.bw_curve)
+    if (bw >= knee) usable = std::max(usable, ws);
+  if (usable > 0) {
+    // Never report more than the nominal level (the sweep's 1.25x point can
+    // clear the knee on machines with a fast exclusive L3 victim path; CATS
+    // should still size against the private level) nor less than a quarter
+    // (noise floor: below that the sweep is measuring the L1, not the L2).
+    usable = std::min(usable, c.nominal_cache_bytes);
+    usable = std::max(usable, c.nominal_cache_bytes / 4);
+    c.effective_cache_bytes = usable;
+  }
+  c.usable_fraction = static_cast<double>(c.effective_cache_bytes) /
+                      static_cast<double>(c.nominal_cache_bytes);
+
+  // --- Slack: CATS1 pilot sweep ------------------------------------------
+  // Domain sized well past the cache so temporal blocking matters; the TZ
+  // implied by each slack differs, and the fastest pilot tells us which CS'
+  // this machine actually sustains.
+  if (cfg.sweep_slack) {
+    const double doubles = static_cast<double>(c.effective_cache_bytes) / 8.0;
+    int side = static_cast<int>(std::sqrt(16.0 * doubles));
+    side = std::clamp(side, 256, 4096);
+    const int T = 24;
+    // Warm-up run (page faults, frequency ramp) then one timed pilot per
+    // slack; repeat while budget remains and keep the per-slack minimum.
+    time_slack_pilot(side, 4, 0.8);
+    const double slacks[] = {0.4, 0.8, 1.2, 1.6};
+    double best = 1e300;
+    for (double s : slacks) {
+      double t_min = 1e300;
+      bench::Timer budget;
+      do {
+        t_min = std::min(t_min, time_slack_pilot(side, T, s));
+      } while (budget.seconds() < cfg.seconds_per_slack_point);
+      if (t_min < best) {
+        best = t_min;
+        c.suggested_cs_slack = s;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace cats::tune

@@ -1,0 +1,42 @@
+#pragma once
+// Machine calibration for CATS sizing.
+//
+// Eq. 1/2 take the usable last-private-cache bytes Z and the slack term of
+// CS' = 2s + slack as inputs. The paper fixes slack = 0.8 after a miss
+// analysis and assumes most of the nominal cache is usable; on real machines
+// prefetchers, SMT sharing and associativity conflicts change both. The
+// calibrator measures instead of assuming:
+//
+//   * effective cache:  a copy-bandwidth sweep over working sets around the
+//     nominal last private level; the largest working set that still runs at
+//     cache (not memory) speed is the usable Z.
+//   * slack:            short CATS1 pilot runs of a 5-point stencil on a
+//     memory-resident domain across a small slack grid; fastest wins.
+//
+// Both are bounded-time micro-benchmarks (a second or two total by default).
+
+#include <cstddef>
+#include <vector>
+
+namespace cats::tune {
+
+struct CalibrationConfig {
+  double seconds_per_bw_point = 0.06;  ///< copy-sweep budget per working set
+  double seconds_per_slack_point = 0.25;  ///< pilot budget per slack value
+  bool sweep_slack = true;  ///< false: keep the paper's 0.8 (cache sweep only)
+};
+
+struct Calibration {
+  std::size_t nominal_cache_bytes = 0;    ///< detected last private level
+  std::size_t effective_cache_bytes = 0;  ///< measured usable share
+  double usable_fraction = 1.0;           ///< effective / nominal
+  double suggested_cs_slack = 0.8;        ///< winner of the slack sweep
+  double memory_bw_gbps = 0.0;            ///< far-from-cache copy bandwidth
+  /// The sweep itself, for reporting: (working-set bytes, GB/s).
+  std::vector<std::pair<std::size_t, double>> bw_curve;
+};
+
+/// Run the calibration micro-benchmarks on this machine.
+Calibration calibrate_machine(const CalibrationConfig& cfg = {});
+
+}  // namespace cats::tune

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal JSON reader/writer for the tuning subsystem.
+//
+// The tuning database and the bench --json emitter need a dependency-free
+// round-trip format. This is deliberately a small, tolerant subset parser:
+// objects, arrays, strings (with \" \\ \/ \b \f \n \r \t \uXXXX escapes),
+// numbers, true/false/null. Parse failures return false instead of throwing —
+// a corrupted database file must never take down a run.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cats::tune {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // Kind::Array
+  std::vector<std::pair<std::string, JsonValue>> members;  // Kind::Object
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+
+  /// Typed convenience getters with defaults (never throw).
+  std::string get_string(std::string_view key, std::string dflt = {}) const;
+  double get_number(std::string_view key, double dflt = 0.0) const;
+  long long get_int(std::string_view key, long long dflt = 0) const;
+};
+
+/// Parse a complete JSON document. Returns false (out untouched beyond
+/// partial state) on any syntax error or trailing garbage.
+bool json_parse(std::string_view text, JsonValue& out);
+
+/// Escape a string's content for embedding between double quotes.
+std::string json_escape(std::string_view s);
+
+/// `"s"` with escaping.
+std::string json_quote(std::string_view s);
+
+/// Shortest round-trip representation of a double (handles NaN/inf as null,
+/// which JSON cannot represent).
+std::string json_number(double v);
+
+}  // namespace cats::tune

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "bench_harness/ascii_plot.hpp"
 #include "bench_harness/report.hpp"
 #include "bench_harness/timing.hpp"
+#include "tune/json.hpp"
 
 using namespace cats::bench;
 
@@ -89,6 +92,56 @@ TEST(SeriesPlot, OverlapsMarkedAndEmptyHandled) {
   std::ostringstream os2;
   empty.render(os2, 20, 8);
   EXPECT_NE(os2.str().find("no positive data"), std::string::npos);
+}
+
+TEST(JsonLog, SerializesTablesAndScalars) {
+  JsonLog log;
+  log.set_title("unit bench");
+  Table t({"size", "gflops"});
+  t.add_row({"1M", "12.5"});
+  t.add_row({"2M", "11.0"});
+  log.add_table("fig", t);
+  log.add_scalar("speedup", 2.5);
+
+  cats::tune::JsonValue v;
+  ASSERT_TRUE(cats::tune::json_parse(log.to_json(), v)) << log.to_json();
+  EXPECT_EQ(v.get_string("title"), "unit bench");
+  ASSERT_NE(v.get("machine"), nullptr);
+  EXPECT_FALSE(v.get("machine")->get_string("fingerprint").empty());
+  const auto* tables = v.get("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_EQ(tables->items.size(), 1u);
+  EXPECT_EQ(tables->items[0].get_string("caption"), "fig");
+  const auto* rows = tables->items[0].get("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items.size(), 2u);
+  EXPECT_EQ(rows->items[1].items[0].str, "2M");
+  ASSERT_NE(v.get("scalars"), nullptr);
+  EXPECT_EQ(v.get("scalars")->get_number("speedup"), 2.5);
+}
+
+TEST(JsonLog, GlobalLogCapturesPrintedTablesAndFlushes) {
+  const std::string path = testing::TempDir() + "cats_benchlog.json";
+  json_log().enable(path);
+  std::ostringstream banner;
+  print_banner(banner, "captured run");  // sets the JSON title
+
+  Table t({"a", "b"});
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print(os);  // auto-recorded into the enabled global log
+
+  ASSERT_TRUE(json_log().flush());
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  cats::tune::JsonValue v;
+  ASSERT_TRUE(cats::tune::json_parse(text, v));
+  EXPECT_EQ(v.get_string("title"), "captured run");
+  const auto* tables = v.get("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_GE(tables->items.size(), 1u);
+  std::remove(path.c_str());
 }
 
 TEST(Banner, PrintsMachineInfo) {

@@ -148,3 +148,76 @@ TEST(Selector, BandedMatrixShrinksTz) {
   EXPECT_LT(tz_banded, tz_const);
   EXPECT_GT(tz_banded, 0);
 }
+
+TEST(Selector, DegenerateTinyCacheFallsBackToNaive) {
+  // A cache too small for even a minimal 2s-wide diamond: compute_tz yields 0
+  // and no CATS scheme can keep a wavefront resident, so Auto streams naively
+  // instead of paying tile overhead for nothing.
+  const DomainShape d{1 << 20, 1 << 10, 1 << 10, 2};
+  const KernelCosts k{1, 2.8};
+  RunOptions opt;
+  opt.cache_bytes = 16;  // two doubles
+  EXPECT_EQ(compute_tz(opt.cache_bytes, d, k), 0);
+  const SchemeChoice c = select_scheme(d, k, opt, 100);
+  EXPECT_EQ(c.scheme, Scheme::Naive);
+
+  // Overrides disable the fallback: the caller asked for specific tiles.
+  opt.bz_override = 8;
+  EXPECT_EQ(select_scheme(d, k, opt, 100).scheme, Scheme::Cats2);
+}
+
+TEST(Selector, SmallButUsableCacheStillTimeSkews) {
+  // Slightly above degenerate: TZ = 0 but a >= 2s diamond fits, so the
+  // rule of thumb moves to CATS2 rather than Naive (unchanged behavior).
+  const DomainShape d{1 << 20, 1 << 10, 1 << 10, 2};
+  const KernelCosts k{1, 2.8};
+  RunOptions opt;
+  opt.cache_bytes = 1024;
+  EXPECT_EQ(compute_tz(opt.cache_bytes, d, k), 0);
+  const SchemeChoice c = select_scheme(d, k, opt, 100);
+  EXPECT_EQ(c.scheme, Scheme::Cats2);
+  EXPECT_GE(c.bz, 2);
+}
+
+TEST(Selector, WmaxBelowTwoSlope) {
+  // Thinner than one diamond in the traversal dimension (wmax < 2s): the
+  // formulas must stay finite and the clamps keep every parameter legal.
+  const DomainShape d{4 * 4096, 4, 4096, 2};  // wmax = 4 < 2s = 6
+  const KernelCosts k{3, 6.8};
+  const std::size_t z = 1 << 20;
+  EXPECT_GE(compute_tz(z, d, k), 0);
+  EXPECT_GE(compute_bz(z, d, k), 6);  // clamped at 2s
+  RunOptions opt;
+  opt.cache_bytes = z;
+  const SchemeChoice c = select_scheme(d, k, opt, 100);
+  EXPECT_TRUE(c.scheme == Scheme::Cats1 || c.scheme == Scheme::Cats2);
+  if (c.scheme == Scheme::Cats1) EXPECT_GE(c.tz, 1);
+  if (c.scheme == Scheme::Cats2) EXPECT_GE(c.bz, 6);
+}
+
+TEST(Selector, Float32ElementBytesScaleEq1Eq2) {
+  // elem_bytes = 4 doubles Zd, so TZ doubles and BZ scales by sqrt(2).
+  const DomainShape d{1000 * 1000, 1000, 1000, 2};
+  const std::size_t z = 2 * 1024 * 1024;
+  const KernelCosts k64{1, 2.8, 8.0};
+  const KernelCosts k32{1, 2.8, 4.0};
+  EXPECT_NEAR(compute_tz(z, d, k32), 2 * compute_tz(z, d, k64), 1);
+  EXPECT_NEAR(static_cast<double>(compute_bz(z, d, k32)),
+              std::sqrt(2.0) * static_cast<double>(compute_bz(z, d, k64)), 2.0);
+}
+
+TEST(Selector, Cats3BzClampedBelowAtTwoSlope) {
+  const KernelCosts k{2, 4.8};
+  EXPECT_EQ(compute_bz3(1, k), 4);  // 2s floor with a 1-byte cache
+  EXPECT_GT(compute_bz3(64 * 1024 * 1024, k), 4);
+
+  // Explicit CATS3 selection in 3D honors the same clamp on both BZ and BX.
+  const DomainShape d{256ll * 256 * 256, 256, 256, 3};
+  RunOptions opt;
+  opt.scheme = Scheme::Cats3;
+  opt.cache_bytes = 1;
+  const SchemeChoice c = select_scheme(d, k, opt, 100);
+  EXPECT_EQ(c.scheme, Scheme::Cats3);
+  EXPECT_EQ(c.bz, 4);
+  EXPECT_EQ(c.bx, 4);
+}

@@ -1,0 +1,243 @@
+// cats_tune: calibrate this machine and empirically tune CATS parameters.
+//
+// For each requested kernel the tool seeds a neighborhood search with the
+// analytic Eq. 1/2/CATS3 configuration, times short pilot runs over the
+// candidate grid, prints the full ranking, and persists the winner in the
+// tuning database. Subsequent runs with RunOptions::tuning = UseDb (or the
+// bench binaries' --tune db) pick the entry up automatically.
+//
+//   $ cats_tune                         # calibrate + tune const2d and const3d
+//   $ cats_tune --kernel banded2d --side 1024 --t 64
+//   $ cats_tune --db /tmp/tune.json --no-calibrate
+//
+// Options:
+//   --kernel NAME   const2d | const3d | banded2d | fdtd2d | all
+//                   (repeatable; default: const2d, const3d)
+//   --side N        domain side length (default: ~8x the calibrated cache)
+//   --t T           timesteps the production runs will use (default 100)
+//   --threads N     worker threads (default: hardware concurrency)
+//   --db PATH       tuning DB file (default: $CATS_TUNE_DB or
+//                   ~/.cache/cats/tune.json)
+//   --pilot-t N     timesteps per pilot run (default 16)
+//   --reps N        pilots per candidate, minimum kept (default 2)
+//   --no-calibrate  skip the cache/slack calibration micro-benchmarks
+//   --json PATH     also write the report as JSON (bench_harness JsonLog)
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+#include "core/run.hpp"
+#include "kernels/banded2d.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const3d.hpp"
+#include "kernels/fdtd2d.hpp"
+#include "tune/calibrate.hpp"
+#include "tune/tuner.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> kernels;
+  int side = 0;  // 0 = derive from calibrated cache
+  int t = 100;
+  int threads = 0;  // 0 = hardware concurrency
+  std::string db_path;
+  int pilot_t = 16;
+  int reps = 2;
+  bool calibrate = true;
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--kernel") {
+      const char* v = value();
+      if (!v) return false;
+      if (std::strcmp(v, "all") == 0) {
+        a.kernels = {"const2d", "const3d", "banded2d", "fdtd2d"};
+      } else {
+        a.kernels.emplace_back(v);
+      }
+    } else if (flag == "--side") {
+      const char* v = value();
+      if (!v || (a.side = std::atoi(v)) <= 0) return false;
+    } else if (flag == "--t") {
+      const char* v = value();
+      if (!v || (a.t = std::atoi(v)) <= 0) return false;
+    } else if (flag == "--threads") {
+      const char* v = value();
+      if (!v || (a.threads = std::atoi(v)) <= 0) return false;
+    } else if (flag == "--db") {
+      const char* v = value();
+      if (!v) return false;
+      a.db_path = v;
+    } else if (flag == "--pilot-t") {
+      const char* v = value();
+      if (!v || (a.pilot_t = std::atoi(v)) <= 0) return false;
+    } else if (flag == "--reps") {
+      const char* v = value();
+      if (!v || (a.reps = std::atoi(v)) <= 0) return false;
+    } else if (flag == "--no-calibrate") {
+      a.calibrate = false;
+    } else if (flag == "--json") {
+      const char* v = value();
+      if (!v) return false;
+      json_log().enable(v);
+    } else {
+      std::cerr << "unknown option: " << flag << "\n";
+      return false;
+    }
+  }
+  if (a.kernels.empty()) a.kernels = {"const2d", "const3d"};
+  return true;
+}
+
+std::string fmt_candidate(const tune::Candidate& c) {
+  std::string s = tune::candidate_scheme_name(c);
+  if (c.scheme == Scheme::Cats1) s += " TZ=" + std::to_string(c.tz);
+  if (c.scheme == Scheme::Cats2) s += " BZ=" + std::to_string(c.bz);
+  if (c.scheme == Scheme::Cats3)
+    s += " BZ=" + std::to_string(c.bz) + " BX=" + std::to_string(c.bx);
+  return s;
+}
+
+void report_result(const tune::TuneResult& res, double n_points, int pilot_t,
+                   double flops_per_point) {
+  Table table({"candidate", "pilot[s]", "GFLOPS", "vs analytic"});
+  for (const tune::Measured& m : res.all) {
+    table.add_row(
+        {fmt_candidate(m.cand), fmt_fixed(m.seconds, 4),
+         fmt_fixed(n_points * pilot_t * flops_per_point / m.seconds / 1e9, 2),
+         fmt_fixed(res.analytic_seconds / m.seconds, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "best: " << fmt_candidate(res.best) << "  ("
+            << fmt_fixed(res.analytic_seconds / res.best_seconds, 2)
+            << "x the analytic seed)\n\n";
+}
+
+template <class MakeKernel>
+void tune_one(const std::string& name, MakeKernel&& make, double flops_pp,
+              const Args& args, const RunOptions& base) {
+  auto probe = make();
+  const double n_points = static_cast<double>(domain_shape(probe).n);
+  std::cout << "-- " << name << " (" << kernel_tuning_id(probe) << ", shape "
+            << tune::shape_bucket(domain_shape(probe)) << ", threads "
+            << base.threads << ") --\n";
+
+  tune::TuneConfig cfg;
+  cfg.pilot_t = args.pilot_t;
+  cfg.reps = args.reps;
+  const tune::TuneResult res =
+      tune::search_and_store(make, args.t, base, args.db_path, cfg);
+  report_result(res, n_points, std::min(args.pilot_t, args.t), flops_pp);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr << "usage: cats_tune [--kernel NAME]... [--side N] [--t T]"
+                 " [--threads N] [--db PATH] [--pilot-t N] [--reps N]"
+                 " [--no-calibrate] [--json PATH]\n";
+    return 2;
+  }
+
+  print_banner(std::cout, "cats_tune: empirical CATS parameter tuning");
+
+  RunOptions base;
+  base.threads = args.threads > 0
+                     ? args.threads
+                     : std::max(1u, std::thread::hardware_concurrency());
+  if (args.db_path.empty()) args.db_path = tune::TuneDb::default_path();
+  std::cout << "tuning db: " << args.db_path << "\n";
+
+  int side2d = args.side;
+  int side3d = args.side;
+  if (args.calibrate) {
+    const tune::Calibration cal = tune::calibrate_machine();
+    std::cout << "calibration: nominal cache " << fmt_mib(cal.nominal_cache_bytes)
+              << ", effective " << fmt_mib(cal.effective_cache_bytes) << " ("
+              << fmt_fixed(100.0 * cal.usable_fraction, 0)
+              << "% usable), memory bw "
+              << fmt_fixed(cal.memory_bw_gbps, 1) << " GB/s, suggested slack "
+              << fmt_fixed(cal.suggested_cs_slack, 1) << "\n\n";
+    base.cache_bytes = cal.effective_cache_bytes;
+    base.cs_slack = cal.suggested_cs_slack;
+    json_log().add_scalar("effective_cache_bytes",
+                          static_cast<double>(cal.effective_cache_bytes));
+    json_log().add_scalar("suggested_cs_slack", cal.suggested_cs_slack);
+  } else {
+    std::cout << "\n";
+  }
+  if (side2d == 0) {
+    // Default pilot domains: comfortably past the cache (so time skewing is
+    // exercised) but quick enough for a dozen pilots.
+    const double doubles =
+        static_cast<double>(resolve_cache_bytes(base)) / 8.0;
+    side2d = std::min(4096, static_cast<int>(std::sqrt(32.0 * doubles)));
+    side3d = std::min(320, static_cast<int>(std::cbrt(32.0 * doubles)));
+  }
+
+  for (const std::string& name : args.kernels) {
+    if (name == "const2d") {
+      const int s = side2d;
+      tune_one(name, [s] {
+        ConstStar2D<1> k(s, s, default_star2d_weights<1>());
+        k.init([](int x, int y) { return 0.01 * x + 0.02 * y; }, 1.0);
+        return k;
+      }, 9.0, args, base);
+    } else if (name == "const3d") {
+      const int s = side3d;
+      tune_one(name, [s] {
+        ConstStar3D<1> k(s, s, s, default_star3d_weights<1>());
+        k.init([](int x, int y, int z) {
+          return 0.01 * x + 0.02 * y + 0.03 * z;
+        }, 0.0);
+        return k;
+      }, 13.0, args, base);
+    } else if (name == "banded2d") {
+      const int s = side2d;
+      tune_one(name, [s] {
+        Banded2D<1> k(s, s);
+        k.init([](int x, int y) { return 0.01 * x + 0.02 * y; }, 0.0);
+        k.init_bands([](int b, int x, int y) {
+          return b == 0 ? 0.5 : 0.125 + 1e-4 * ((b + x + y) % 7);
+        });
+        return k;
+      }, 9.0, args, base);
+    } else if (name == "fdtd2d") {
+      const int s = side2d;
+      tune_one(name, [s] {
+        Fdtd2D k(s, s);
+        k.init([](int x, int y) {
+          return std::tuple{0.01 * x, 0.01 * y, 0.02 * (x + y)};
+        });
+        return k;
+      }, 17.0, args, base);
+    } else {
+      std::cerr << "unknown kernel '" << name
+                << "' (try const2d, const3d, banded2d, fdtd2d)\n";
+      return 2;
+    }
+  }
+
+  std::cout << "entries persisted to " << args.db_path
+            << "; use RunOptions::tuning = Tuning::UseDb (benches: --tune db)"
+               " to apply them.\n";
+  return 0;
+}
