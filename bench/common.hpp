@@ -3,13 +3,16 @@
 //
 // Environment knobs:
 //   CATS_BENCH_FULL=1      paper-scale sweeps (up to 128M elements, ~GiB data)
+//   CATS_BENCH_TINY=1      smallest-size smoke run (CI; correctness, not perf)
 //   CATS_BENCH_THREADS=N   worker threads (default: hardware concurrency)
 //   CATS_BENCH_CACHE_KB=N  cache parameter Z for CATS (default: detected L2)
 //   CATS_BENCH_REPS=N      repetitions per point, median reported (default 1)
 //   CATS_BENCH_JSON=path   machine-readable BENCH_*.json output
 //   CATS_BENCH_TUNE=db|search  tuning DB policy for Scheme::Auto points
+//   CATS_BENCH_AFFINITY=none|compact|scatter  thread-pinning policy
 //
-// CLI flags (override the environment): --json <path>, --tune db|search.
+// CLI flags (override the environment): --json <path>, --tune db|search,
+// --affinity none|compact|scatter.
 
 #include <cmath>
 #include <cstdlib>
@@ -22,16 +25,21 @@
 #include "bench_harness/report.hpp"
 #include "bench_harness/timing.hpp"
 #include "core/run.hpp"
+#include "core/stats.hpp"
+#include "simd/vecd.hpp"
+#include "sysinfo/topology.hpp"
 #include "tune/tuner.hpp"
 
 namespace cats::bench {
 
 struct BenchConfig {
   bool full = false;
+  bool tiny = false;
   int threads = 1;
   std::size_t cache_bytes = 0;  // 0 = detect
   int reps = 1;
   Tuning tuning = Tuning::Off;
+  AffinityPolicy affinity = AffinityPolicy::None;
 };
 
 inline int env_int(const char* name, int dflt) {
@@ -48,9 +56,16 @@ inline Tuning parse_tuning(const char* v) {
   return Tuning::Off;
 }
 
+inline AffinityPolicy parse_affinity(const char* v) {
+  if (v && std::strcmp(v, "compact") == 0) return AffinityPolicy::Compact;
+  if (v && std::strcmp(v, "scatter") == 0) return AffinityPolicy::Scatter;
+  return AffinityPolicy::None;
+}
+
 inline BenchConfig bench_config(int argc = 0, char** argv = nullptr) {
   BenchConfig c;
   c.full = std::getenv("CATS_BENCH_FULL") != nullptr;
+  c.tiny = std::getenv("CATS_BENCH_TINY") != nullptr;
   c.threads = env_int("CATS_BENCH_THREADS",
                       static_cast<int>(std::thread::hardware_concurrency()));
   if (c.threads < 1) c.threads = 1;
@@ -58,10 +73,15 @@ inline BenchConfig bench_config(int argc = 0, char** argv = nullptr) {
   c.reps = env_int("CATS_BENCH_REPS", 1);
   if (const char* j = std::getenv("CATS_BENCH_JSON")) json_log().enable(j);
   c.tuning = parse_tuning(std::getenv("CATS_BENCH_TUNE"));
+  c.affinity = parse_affinity(std::getenv("CATS_BENCH_AFFINITY"));
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_log().enable(argv[i + 1]);
     if (std::strcmp(argv[i], "--tune") == 0) c.tuning = parse_tuning(argv[i + 1]);
+    if (std::strcmp(argv[i], "--affinity") == 0)
+      c.affinity = parse_affinity(argv[i + 1]);
   }
+  json_log().add_context("affinity", affinity_policy_name(c.affinity));
+  json_log().add_context("isa", simd::kIsaName);
   return c;
 }
 
@@ -71,6 +91,7 @@ inline RunOptions options_for(const BenchConfig& c, Scheme s) {
   opt.cache_bytes = c.cache_bytes;
   opt.scheme = s;
   opt.tuning = c.tuning;
+  opt.affinity = c.affinity;
   return opt;
 }
 
@@ -96,12 +117,16 @@ void ensure_tuned(MakeKernel&& make_kernel, int T, RunOptions& opt) {
 }
 
 /// Median wall seconds of `reps` runs; make_kernel() -> fresh initialized
-/// kernel each rep (the run mutates it).
+/// kernel each rep (the run mutates it). With --json enabled, the timed
+/// runs' synchronization wait time (RunStats::wait_ns over all reps) is
+/// accumulated into the report's scalars.
 template <class MakeKernel>
 double time_scheme(MakeKernel&& make_kernel, int T, const RunOptions& opt,
                    int reps, SchemeChoice* choice_out = nullptr) {
   RunOptions ropt = opt;
   ensure_tuned(make_kernel, T, ropt);
+  RunStats wait_stats;
+  if (json_log().enabled() && !ropt.stats) ropt.stats = &wait_stats;
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
@@ -110,6 +135,11 @@ double time_scheme(MakeKernel&& make_kernel, int T, const RunOptions& opt,
     const SchemeChoice c = run(k, T, ropt);
     samples.push_back(timer.seconds());
     if (choice_out) *choice_out = c;
+  }
+  if (ropt.stats == &wait_stats) {
+    json_log().bump_scalar("wait_ns", static_cast<double>(wait_stats.wait_ns));
+    json_log().bump_scalar("wait_events",
+                           static_cast<double>(wait_stats.wait_events));
   }
   return summarize(samples).median;
 }
@@ -136,6 +166,17 @@ inline std::vector<double> size_series(double lo_millions, double hi_millions) {
   std::vector<double> s;
   for (double m = lo_millions; m <= hi_millions * 1.01; m *= 2.0) s.push_back(m);
   return s;
+}
+
+/// Size sweep honoring the three run modes: tiny (CI smoke) collapses to a
+/// single sub-million point, full is the paper-scale doubling series, and the
+/// default is a reduced series that still shows the cache transition.
+inline std::vector<double> sweep_sizes(const BenchConfig& c, double full_lo,
+                                       double full_hi, double dflt_lo,
+                                       double dflt_hi) {
+  if (c.tiny) return {0.25};
+  return c.full ? size_series(full_lo, full_hi)
+                : size_series(dflt_lo, dflt_hi);
 }
 
 }  // namespace cats::bench

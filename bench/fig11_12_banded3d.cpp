@@ -16,8 +16,10 @@ double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
   const int side = side_3d(millions);
   auto make = [&] {
     Banded3D<1> k(side, side, side);
-    k.init([](int x, int y, int z) { return 0.01 * x + 0.02 * y - 0.005 * z; },
-           1.0);
+    k.parallel_init(
+        options_for(cfg, s),
+        [](int x, int y, int z) { return 0.01 * x + 0.02 * y - 0.005 * z; },
+        1.0);
     k.init_bands([](int b, int x, int y, int z) {
       return (b == 0 ? 0.5 : 0.08) * (1.0 + 1e-3 * ((x ^ y ^ z) & 7));
     });
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
             << (cfg.full ? " (paper-scale sweep)" : " (reduced sweep; CATS_BENCH_FULL=1 for paper scale)")
             << "\n\n";
 
-  const auto sizes = cfg.full ? size_series(0.5, 32) : size_series(1, 16);
+  const auto sizes = sweep_sizes(cfg, 0.5, 32, 1, 16);
   const double flops_pp = 13.0;
 
   for (int T : {100, 10}) {

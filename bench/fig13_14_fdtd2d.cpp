@@ -20,7 +20,7 @@ double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
   const int side = side_2d(millions);
   auto make = [&] {
     Fdtd2D k(side, side);
-    k.init([side](int x, int y) {
+    k.parallel_init(options_for(cfg, s), [side](int x, int y) {
       // Gaussian magnetic pulse in the center; quiet E fields.
       const double dx = (x - side / 2) * 0.05, dy = (y - side / 2) * 0.05;
       return std::tuple{0.0, 0.0, std::exp(-(dx * dx + dy * dy))};
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
             << (cfg.full ? " (paper-scale sweep)" : " (reduced sweep; CATS_BENCH_FULL=1 for paper scale)")
             << "\n\n";
 
-  const auto sizes = cfg.full ? size_series(0.5, 64) : size_series(1, 16);
+  const auto sizes = sweep_sizes(cfg, 0.5, 64, 1, 16);
   const double flops_pp = 17.0;
 
   for (int T : {100, 10}) {

@@ -16,7 +16,8 @@ double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
   const int side = side_2d(millions);
   auto make = [&] {
     ConstStar2D<1> k(side, side, default_star2d_weights<1>());
-    k.init([](int x, int y) { return 0.01 * x + 0.02 * y; }, 1.0);
+    k.parallel_init(options_for(cfg, s),
+                    [](int x, int y) { return 0.01 * x + 0.02 * y; }, 1.0);
     return k;
   };
   return time_scheme(make, T, options_for(cfg, s), cfg.reps, choice);
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
             << (cfg.full ? " (paper-scale sweep)" : " (reduced sweep; CATS_BENCH_FULL=1 for paper scale)")
             << "\n\n";
 
-  const auto sizes = cfg.full ? size_series(0.5, 128) : size_series(1, 32);
+  const auto sizes = sweep_sizes(cfg, 0.5, 128, 1, 32);
   const double flops_pp = 9.0;
 
   for (int T : {100, 10}) {

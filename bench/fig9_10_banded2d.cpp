@@ -17,7 +17,8 @@ double run_point(double millions, int T, Scheme s, const BenchConfig& cfg,
   const int side = side_2d(millions);
   auto make = [&] {
     Banded2D<1> k(side, side);
-    k.init([](int x, int y) { return 0.01 * x + 0.02 * y; }, 1.0);
+    k.parallel_init(options_for(cfg, s),
+                    [](int x, int y) { return 0.01 * x + 0.02 * y; }, 1.0);
     k.init_bands([](int b, int x, int y) {
       return (b == 0 ? 0.5 : 0.125) * (1.0 + 1e-3 * ((x ^ y) & 7));
     });
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   // The paper sweeps banded tests to 32M elements.
-  const auto sizes = cfg.full ? size_series(0.5, 32) : size_series(1, 16);
+  const auto sizes = sweep_sizes(cfg, 0.5, 32, 1, 16);
   const double flops_pp = 9.0;
 
   for (int T : {100, 10}) {

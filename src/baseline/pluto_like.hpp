@@ -58,7 +58,7 @@ void run_pluto_like(K& k, int T, const RunOptions& opt) {
   const int W = k.width(), H = k.height(), s = k.slope();
   const int Bt = prm.bt2, Bi = prm.by2, Bj = prm.bx2;
   const int P = std::max(1, opt.threads);
-  ThreadPool pool(P);
+  ThreadPool pool(P, opt.affinity);
   SpinBarrier bar(P);
 
   pool.run([&](int tid) {
@@ -105,7 +105,7 @@ void run_pluto_like(K& k, int T, const RunOptions& opt) {
   const int W = k.width(), H = k.height(), D = k.depth(), s = k.slope();
   const int Bt = prm.bt3, Bz = prm.bz3, Bi = prm.by3, Bj = prm.bx3;
   const int P = std::max(1, opt.threads);
-  ThreadPool pool(P);
+  ThreadPool pool(P, opt.affinity);
   SpinBarrier bar(P);
 
   pool.run([&](int tid) {

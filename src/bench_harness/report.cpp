@@ -12,6 +12,7 @@
 #include "simd/detect.hpp"
 #include "simd/vecd.hpp"
 #include "sysinfo/cache_info.hpp"
+#include "sysinfo/topology.hpp"
 #include "tune/json.hpp"
 
 namespace cats::bench {
@@ -67,6 +68,26 @@ void JsonLog::add_scalar(std::string key, double value) {
   scalars_.emplace_back(std::move(key), value);
 }
 
+void JsonLog::bump_scalar(const std::string& key, double delta) {
+  for (auto& kv : scalars_) {
+    if (kv.first == key) {
+      kv.second += delta;
+      return;
+    }
+  }
+  scalars_.emplace_back(key, delta);
+}
+
+void JsonLog::add_context(std::string key, std::string value) {
+  for (auto& kv : context_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  context_.emplace_back(std::move(key), std::move(value));
+}
+
 std::string JsonLog::to_json() const {
   using tune::json_number;
   using tune::json_quote;
@@ -75,8 +96,14 @@ std::string JsonLog::to_json() const {
      << "\"fingerprint\": " << json_quote(machine_fingerprint()) << ", "
      << "\"caches\": " << json_quote(cache_info_string(detect_cache_info()))
      << ", \"simd\": " << json_quote(simd::kIsaName)
+     << ", \"topology\": "
+     << json_quote(topology_string(system_topology()))
      << ", \"hw_threads\": " << std::thread::hardware_concurrency() << "},\n";
-  os << "  \"tables\": [";
+  os << "  \"context\": {";
+  for (std::size_t i = 0; i < context_.size(); ++i)
+    os << (i ? ", " : "") << json_quote(context_[i].first) << ": "
+       << json_quote(context_[i].second);
+  os << "},\n  \"tables\": [";
   for (std::size_t i = 0; i < tables_.size(); ++i) {
     const Recorded& t = tables_[i];
     os << (i ? "," : "") << "\n    {\"caption\": " << json_quote(t.caption)
@@ -140,6 +167,7 @@ void print_banner(std::ostream& os, const std::string& title) {
      << ")\n";
   os << "caches: " << cache_info_string(detect_cache_info())
      << " | hw threads: " << std::thread::hardware_concurrency() << "\n";
+  os << "topology: " << topology_string(system_topology()) << "\n";
 }
 
 }  // namespace cats::bench

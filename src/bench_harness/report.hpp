@@ -38,6 +38,11 @@ class JsonLog {
   void set_title(std::string title);
   void add_table(std::string caption, const Table& t);
   void add_scalar(std::string key, double value);
+  /// add_scalar that accumulates: repeated bumps of one key sum into a
+  /// single entry (used for wait-time totals across timed runs).
+  void bump_scalar(const std::string& key, double delta);
+  /// String-valued run context ("affinity", ...); last value per key wins.
+  void add_context(std::string key, std::string value);
   /// Serialize the document (exposed for tests).
   std::string to_json() const;
   /// Write to the enabled path; false on IO failure or when disabled.
@@ -53,6 +58,7 @@ class JsonLog {
   std::string title_;
   std::vector<Recorded> tables_;
   std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, std::string>> context_;
 };
 
 /// The process-wide log Table::print and print_banner feed.

@@ -29,8 +29,10 @@ namespace detail {
 
 /// Shared CATS2 driver. TubeSweep(dt, i, j) processes one diamond tube.
 template <class TubeSweep>
-void cats2_sweep(const DiamondTiling& dt, int threads, RunStats* stats,
+void cats2_sweep(const DiamondTiling& dt, const RunOptions& opt,
                  TubeSweep&& tube) {
+  const int threads = opt.threads;
+  RunStats* stats = opt.stats;
   const Range ir = dt.i_range();
   const Range jr = dt.j_range();
   const Range rr = dt.r_range();
@@ -46,9 +48,10 @@ void cats2_sweep(const DiamondTiling& dt, int threads, RunStats* stats,
   };
 
   const int P = std::max(1, threads);
-  ThreadPool pool(P);
+  ThreadPool pool(P, opt.affinity);
   pool.run([&](int tid) {
-    std::int64_t local_spins = 0, local_events = 0, local_tiles = 0;
+    std::int64_t local_spins = 0, local_events = 0, local_ns = 0,
+                 local_tiles = 0;
     for (std::int64_t r = rr.lo; r <= rr.hi; ++r) {
       // Diamonds in row r: (i, j = i - r).
       const std::int64_t ilo = std::max(ir.lo, jr.lo + r);
@@ -59,14 +62,21 @@ void cats2_sweep(const DiamondTiling& dt, int threads, RunStats* stats,
         if (dt.nonempty(i, j)) {
           // Wait on the two diamonds below (Fig. 3); absent or empty
           // neighbors carry no dependency.
-          std::int64_t spins = 0;
-          if (in_range(i - 1, j) && dt.nonempty(i - 1, j))
-            spins += flag(i - 1, j).wait();
-          if (in_range(i, j + 1) && dt.nonempty(i, j + 1))
-            spins += flag(i, j + 1).wait();
-          if (spins > 0) {
+          WaitResult w;
+          if (in_range(i - 1, j) && dt.nonempty(i - 1, j)) {
+            const WaitResult a = flag(i - 1, j).wait();
+            w.spins += a.spins;
+            w.ns += a.ns;
+          }
+          if (in_range(i, j + 1) && dt.nonempty(i, j + 1)) {
+            const WaitResult b = flag(i, j + 1).wait();
+            w.spins += b.spins;
+            w.ns += b.ns;
+          }
+          if (w.spins > 0) {
             ++local_events;
-            local_spins += spins;
+            local_spins += w.spins;
+            local_ns += w.ns;
           }
           tube(dt, i, j);
           ++local_tiles;
@@ -77,6 +87,7 @@ void cats2_sweep(const DiamondTiling& dt, int threads, RunStats* stats,
     if (stats) {
       stats->wait_events.fetch_add(local_events, std::memory_order_relaxed);
       stats->wait_spins.fetch_add(local_spins, std::memory_order_relaxed);
+      stats->wait_ns.fetch_add(local_ns, std::memory_order_relaxed);
       stats->tiles_processed.fetch_add(local_tiles, std::memory_order_relaxed);
     }
   });
@@ -93,7 +104,7 @@ void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
   const int s = k.slope();
   const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.width(), 1, T};
 
-  detail::cats2_sweep(dt, opt.threads, opt.stats,
+  detail::cats2_sweep(dt, opt,
       [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
         const Range tr = d.t_range(i, j);
         if (tr.empty()) return;
@@ -106,6 +117,12 @@ void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
           for (std::int64_t t = ts.lo; t <= ts.hi; ++t) {
             const Range px = d.p_range(i, j, t);
             if (px.empty()) continue;
+            // Leading edge of the tube wavefront (lowest t) streams
+            // never-touched rows from memory; hint the next one.
+            if constexpr (kernel_has_prefetch_front<K>) {
+              if (t == ts.lo) k.prefetch_front(static_cast<int>(t),
+                                               static_cast<int>(w - s * t + 1));
+            }
             k.process_row(static_cast<int>(t), static_cast<int>(w - s * t),
                           static_cast<int>(px.lo), static_cast<int>(px.hi + 1));
           }
@@ -121,7 +138,7 @@ void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
   const int s = k.slope();
   const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.height(), 1, T};
 
-  detail::cats2_sweep(dt, opt.threads, opt.stats,
+  detail::cats2_sweep(dt, opt,
       [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
         const Range tr = d.t_range(i, j);
         if (tr.empty()) return;
@@ -133,6 +150,9 @@ void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
           for (std::int64_t t = ts.lo; t <= ts.hi; ++t) {
             const Range py = d.p_range(i, j, t);
             const int z = static_cast<int>(w - s * t);
+            if constexpr (kernel_has_prefetch_front<K>) {
+              if (t == ts.lo) k.prefetch_front(static_cast<int>(t), z + 1);
+            }
             for (std::int64_t y = py.lo; y <= py.hi; ++y) {
               k.process_row(static_cast<int>(t), static_cast<int>(y), z, 0, W);
             }

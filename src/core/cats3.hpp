@@ -36,7 +36,7 @@ void run_cats3(K& k, int T, const RunOptions& opt, std::int64_t bz,
   const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.height(), 1, T};
   const std::int64_t bxw = std::max<std::int64_t>(bx, 2ll * s);
 
-  detail::cats2_sweep(dt, opt.threads, opt.stats,
+  detail::cats2_sweep(dt, opt,
       [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
         const Range tr = d.t_range(i, j);
         if (tr.empty()) return;

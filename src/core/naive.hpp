@@ -17,7 +17,7 @@ template <RowKernel1D K>
 void run_naive(K& k, int T, const RunOptions& opt) {
   const int W = k.width();
   const int P = std::clamp(opt.threads, 1, W);
-  ThreadPool pool(P);
+  ThreadPool pool(P, opt.affinity);
   SpinBarrier bar(P);
   pool.run([&](int tid) {
     const int x0 = static_cast<int>(static_cast<std::int64_t>(W) * tid / P);
@@ -33,7 +33,7 @@ template <RowKernel2D K>
 void run_naive(K& k, int T, const RunOptions& opt) {
   const int W = k.width(), H = k.height();
   const int P = std::clamp(opt.threads, 1, H);
-  ThreadPool pool(P);
+  ThreadPool pool(P, opt.affinity);
   SpinBarrier bar(P);
   pool.run([&](int tid) {
     const int y0 = static_cast<int>(static_cast<std::int64_t>(H) * tid / P);
@@ -49,7 +49,7 @@ template <RowKernel3D K>
 void run_naive(K& k, int T, const RunOptions& opt) {
   const int W = k.width(), H = k.height(), D = k.depth();
   const int P = std::clamp(opt.threads, 1, D);
-  ThreadPool pool(P);
+  ThreadPool pool(P, opt.affinity);
   SpinBarrier bar(P);
   pool.run([&](int tid) {
     const int z0 = static_cast<int>(static_cast<std::int64_t>(D) * tid / P);

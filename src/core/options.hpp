@@ -9,6 +9,8 @@
 
 #include <cstddef>
 
+#include "sysinfo/topology.hpp"  // AffinityPolicy
+
 namespace cats {
 
 struct RunStats;  // core/stats.hpp
@@ -60,6 +62,13 @@ struct RunOptions {
   int tz_override = 0;  ///< CATS1 temporal tile height TZ
   int bz_override = 0;  ///< CATS2/CATS3 diamond width BZ
   int bx_override = 0;  ///< CATS3 x-parallelogram width BX
+
+  /// Thread-pinning policy (opt-in). Compact keeps threads on consecutive
+  /// physical cores of one node (shared-L3 locality, matches the per-core
+  /// private-cache budget of Eq. 1/2); Scatter spreads them across NUMA
+  /// nodes (maximum aggregate bandwidth). Degrades to None, with a one-time
+  /// warning, where sysfs topology or sched_setaffinity is unavailable.
+  AffinityPolicy affinity = AffinityPolicy::None;
 
   /// Empirical-tuning policy; Off keeps selection purely analytic.
   Tuning tuning = Tuning::Off;

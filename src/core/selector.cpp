@@ -129,6 +129,12 @@ RunOptions apply_tuning(const RunOptions& opt, const std::string& kernel_id,
   RunOptions tuned = opt;
   if (e->run_threads > 0 && e->run_threads <= opt.threads)
     tuned.threads = e->run_threads;
+  // Affinity is advisory like everything else here: an unrecognized name
+  // (newer DB) keeps the caller's policy, and pinning still degrades
+  // gracefully at the ThreadPool if the recorded policy can't be applied.
+  if (e->affinity == "none") tuned.affinity = AffinityPolicy::None;
+  else if (e->affinity == "compact") tuned.affinity = AffinityPolicy::Compact;
+  else if (e->affinity == "scatter") tuned.affinity = AffinityPolicy::Scatter;
   if (e->scheme == "Naive") {
     tuned.scheme = Scheme::Naive;
   } else if (e->scheme == "CATS1" && e->tz > 0) {

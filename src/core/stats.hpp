@@ -12,29 +12,53 @@
 #include <atomic>
 #include <cstdint>
 
+#include "threads/progress.hpp"
+
 namespace cats {
 
+/// Counter semantics (all relaxed atomics, accumulated across runs until
+/// reset(); schemes add thread-local tallies once per pool job, so the
+/// counters cost nothing inside the sweep loops):
+///
+/// - `wait_events`: point-to-point waits whose condition was NOT already
+///   satisfied on the first probe — a CATS1 neighbor-progress wait
+///   (ProgressCell::wait_ge) or a CATS2/CATS3 diamond-dependency wait
+///   (DoneFlag::wait) that actually blocked. Waits that pass immediately are
+///   not counted; the paper predicts this number stays near zero for CATS1.
+/// - `wait_spins`: total probe iterations (PAUSE-backoff or yield rounds)
+///   across those blocking waits. A coarse, frequency-independent cost proxy.
+/// - `wait_ns`: total wall-clock nanoseconds spent inside blocking waits
+///   (steady_clock, measured on the slow path only). This is the number to
+///   compare against runtime: spins of different backoff depth have wildly
+///   different durations.
+/// - `tiles_processed`: tiles whose points this thread actually computed —
+///   non-empty parallelogram tiles in CATS1 (one per chunk per thread that
+///   owned a non-empty u-range; threads idled by the P clamp or an empty
+///   tile contribute nothing) and non-empty diamond tubes in CATS2/CATS3.
+/// - `barriers`: global barrier crossings, counted per participant (a
+///   P-thread chunk boundary adds 2*P: two barriers guard the progress-cell
+///   reset). Naive adds one per participant per timestep; CATS2/CATS3 use no
+///   global barriers inside the sweep.
 struct RunStats {
-  /// Waits that found their condition unsatisfied at least once.
   std::atomic<std::int64_t> wait_events{0};
-  /// Total spin/yield iterations across those waits (rough wait cost).
   std::atomic<std::int64_t> wait_spins{0};
-  /// Tiles (parallelogram wavefront-columns / diamonds) processed.
+  std::atomic<std::int64_t> wait_ns{0};
   std::atomic<std::int64_t> tiles_processed{0};
-  /// Global barriers crossed (per participant).
   std::atomic<std::int64_t> barriers{0};
 
   void reset() {
     wait_events.store(0, std::memory_order_relaxed);
     wait_spins.store(0, std::memory_order_relaxed);
+    wait_ns.store(0, std::memory_order_relaxed);
     tiles_processed.store(0, std::memory_order_relaxed);
     barriers.store(0, std::memory_order_relaxed);
   }
 
-  void add_wait(std::int64_t spins) {
-    if (spins > 0) {
+  void add_wait(const WaitResult& w) {
+    if (w.spins > 0) {
       wait_events.fetch_add(1, std::memory_order_relaxed);
-      wait_spins.fetch_add(spins, std::memory_order_relaxed);
+      wait_spins.fetch_add(w.spins, std::memory_order_relaxed);
+      wait_ns.fetch_add(w.ns, std::memory_order_relaxed);
     }
   }
 };

@@ -86,6 +86,16 @@ constexpr bool kernel_sequential_deps() {
   }
 }
 
+/// True when K exposes `prefetch_front(t, p)` — a hint that the wavefront's
+/// leading edge will sweep the row/plane at traversal position p, timestep t
+/// shortly. Drivers (CATS1/CATS2) call it one position ahead of the slice
+/// being computed; kernels issue software prefetches clamped to their ghost
+/// range. Optional: absent members simply skip the hint.
+template <class K>
+constexpr bool kernel_has_prefetch_front = requires(const K& k, int t, int p) {
+  k.prefetch_front(t, p);
+};
+
 /// Bytes per stored element — the paper lists "the memory size of a data
 /// type" among CATS's parameters. Kernels with non-double storage expose an
 /// element_bytes() member; everything else defaults to sizeof(double).

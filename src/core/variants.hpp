@@ -109,7 +109,7 @@ void run_cats2_dynamic(K& k, int T, const RunOptions& opt, std::int64_t bz) {
     }
   };
 
-  ThreadPool pool(std::max(1, opt.threads));
+  ThreadPool pool(std::max(1, opt.threads), opt.affinity);
   pool.run([&](int) {
     for (std::int64_t r = rr.lo; r <= rr.hi; ++r) {
       const std::int64_t ilo = std::max(ir.lo, jr.lo + r);

@@ -15,6 +15,15 @@ namespace cats {
 
 inline constexpr std::size_t kAlign = 64;
 
+/// Tag for grid constructors that allocate WITHOUT writing the storage. On
+/// Linux, physical pages are placed on the NUMA node of the thread that
+/// first writes them (first-touch); a grid built with this tag defers that
+/// placement to the kernel's init/parallel_init fill so pages can land near
+/// the threads that will sweep them. The storage is indeterminate until the
+/// first fill.
+struct DeferFirstTouch {};
+inline constexpr DeferFirstTouch kDeferFirstTouch{};
+
 /// Round `n` up to a multiple of `m` (m > 0).
 constexpr std::size_t round_up(std::size_t n, std::size_t m) noexcept {
   return (n + m - 1) / m * m;

@@ -21,6 +21,13 @@ class Grid2D {
   Grid2D() = default;
 
   Grid2D(int width, int height, int ghost)
+      : Grid2D(width, height, ghost, kDeferFirstTouch) {
+    std::fill(buf_.begin(), buf_.end(), T{});
+  }
+
+  /// Allocate without touching the storage (see DeferFirstTouch); the first
+  /// fill — e.g. a kernel's parallel_init — decides NUMA page placement.
+  Grid2D(int width, int height, int ghost, DeferFirstTouch)
       : w_(width), h_(height), g_(ghost) {
     assert(width > 0 && height > 0 && ghost >= 0);
     const std::size_t elems_per_line = kAlign / sizeof(T);
@@ -30,7 +37,6 @@ class Grid2D {
     lead_ = round_up(static_cast<std::size_t>(g_), elems_per_line);
     pitch_ = lead_ + round_up(static_cast<std::size_t>(w_) + g_, elems_per_line);
     buf_ = AlignedBuffer<T>(pitch_ * (static_cast<std::size_t>(h_) + 2 * g_));
-    std::fill(buf_.begin(), buf_.end(), T{});
   }
 
   int width() const noexcept { return w_; }
@@ -58,6 +64,16 @@ class Grid2D {
 
   /// Set every cell (interior + ghost) to `v`.
   void fill(T v) { std::fill(buf_.begin(), buf_.end(), v); }
+
+  /// Set every cell of full storage rows y in [y0, y1) — including lead
+  /// padding and x-ghost columns — to `v`. Valid for y in [-ghost,
+  /// height+ghost]. This is the unit of parallel first-touch: a thread
+  /// filling its slab of rows places those pages on its NUMA node.
+  void fill_rows(int y0, int y1, T v) {
+    assert(y0 >= -g_ && y1 <= h_ + g_ && y0 <= y1);
+    std::fill(buf_.data() + static_cast<std::size_t>(y0 + g_) * pitch_,
+              buf_.data() + static_cast<std::size_t>(y1 + g_) * pitch_, v);
+  }
 
   /// Set the ghost ring (all cells outside the interior) to `v`.
   void fill_ghost(T v) {

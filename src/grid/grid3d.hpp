@@ -16,6 +16,13 @@ class Grid3D {
   Grid3D() = default;
 
   Grid3D(int width, int height, int depth, int ghost)
+      : Grid3D(width, height, depth, ghost, kDeferFirstTouch) {
+    std::fill(buf_.begin(), buf_.end(), T{});
+  }
+
+  /// Allocate without touching the storage (see DeferFirstTouch); the first
+  /// fill — e.g. a kernel's parallel_init — decides NUMA page placement.
+  Grid3D(int width, int height, int depth, int ghost, DeferFirstTouch)
       : w_(width), h_(height), d_(depth), g_(ghost) {
     assert(width > 0 && height > 0 && depth > 0 && ghost >= 0);
     const std::size_t elems_per_line = kAlign / sizeof(T);
@@ -23,7 +30,6 @@ class Grid3D {
     pitch_ = lead_ + round_up(static_cast<std::size_t>(w_) + g_, elems_per_line);
     slice_ = pitch_ * (static_cast<std::size_t>(h_) + 2 * g_);
     buf_ = AlignedBuffer<T>(slice_ * (static_cast<std::size_t>(d_) + 2 * g_));
-    std::fill(buf_.begin(), buf_.end(), T{});
   }
 
   int width() const noexcept { return w_; }
@@ -50,6 +56,15 @@ class Grid3D {
   const T* data() const noexcept { return buf_.data(); }
 
   void fill(T v) { std::fill(buf_.begin(), buf_.end(), v); }
+
+  /// Set every cell of full storage slabs z in [z0, z1) — including y/x
+  /// ghosts and padding — to `v`. Valid for z in [-ghost, depth+ghost]. The
+  /// unit of parallel first-touch (see Grid2D::fill_rows).
+  void fill_slabs(int z0, int z1, T v) {
+    assert(z0 >= -g_ && z1 <= d_ + g_ && z0 <= z1);
+    std::fill(buf_.data() + static_cast<std::size_t>(z0 + g_) * slice_,
+              buf_.data() + static_cast<std::size_t>(z1 + g_) * slice_, v);
+  }
 
   void fill_ghost(T v) {
     for (int z = -g_; z < d_ + g_; ++z)

@@ -6,12 +6,15 @@
 // wavefront must reside in cache too, so CS is augmented by NS (the paper
 // replaces CS by CS + NS in Eqs. 1-2) — extra_cache_doubles_per_point().
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 #include <string>
 
+#include "core/options.hpp"
 #include "grid/grid2d.hpp"
 #include "simd/vecd.hpp"
+#include "threads/first_touch.hpp"
 
 namespace cats {
 
@@ -23,8 +26,8 @@ class Banded2D {
   static constexpr int kBands = 4 * S + 1;  // NS
 
   Banded2D(int width, int height)
-      : buf_{Grid2D<double>(width, height, S),
-             Grid2D<double>(width, height, S)} {
+      : buf_{Grid2D<double>(width, height, S, kDeferFirstTouch),
+             Grid2D<double>(width, height, S, kDeferFirstTouch)} {
     bands_.reserve(kBands);
     for (int b = 0; b < kBands; ++b) bands_.emplace_back(width, height, S);
   }
@@ -45,6 +48,34 @@ class Banded2D {
     buf_[0].fill(bnd);
     buf_[1].fill(bnd);
     buf_[0].fill_interior(f);
+  }
+
+  /// init() with NUMA-aware placement (see threads/first_touch.hpp). Band
+  /// coefficient grids are placed by init_bands (serial, read-shared).
+  template <class F>
+  void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
+    const int W = width();
+    first_touch_slabs(height(), S, opt.threads, opt.affinity,
+                      [&](int, int y0, int y1) {
+                        buf_[0].fill_rows(y0, y1, bnd);
+                        buf_[1].fill_rows(y0, y1, bnd);
+                        for (int y = std::max(y0, 0);
+                             y < std::min(y1, height()); ++y)
+                          for (int x = 0; x < W; ++x)
+                            buf_[0].at(x, y) = f(x, y);
+                      });
+  }
+
+  /// Leading-edge hint: next source row plus its center-band coefficients
+  /// (the matrix entries stream alongside the values).
+  void prefetch_front(int t, int p) const {
+    const int y = std::min(p + S, height() - 1 + S);
+    const double* r = buf_[(t - 1) & 1].row(y);
+    const double* b = bands_[0].row(std::min(y, height() - 1 + S));
+    for (int i = 0; i < 4; ++i) {
+      simd::prefetch_read(r + i * 8);
+      simd::prefetch_read(b + i * 8);
+    }
   }
 
   /// g(b, x, y) -> coefficient of band b at row position (x, y).
@@ -97,10 +128,10 @@ class Banded2D {
     for (; x + V::width <= x1; x += V::width) {
       V acc = V::load(bc + x) * V::load(c + x);
       for (int k = 0; k < S; ++k) {
-        acc = acc + V::load(bxm[k] + x) * V::load(c + x - (k + 1));
-        acc = acc + V::load(bxp[k] + x) * V::load(c + x + (k + 1));
-        acc = acc + V::load(bym[k] + x) * V::load(rm[k] + x);
-        acc = acc + V::load(byp[k] + x) * V::load(rp[k] + x);
+        acc = V::fma(V::load(bxm[k] + x), V::load(c + x - (k + 1)), acc);
+        acc = V::fma(V::load(bxp[k] + x), V::load(c + x + (k + 1)), acc);
+        acc = V::fma(V::load(bym[k] + x), V::load(rm[k] + x), acc);
+        acc = V::fma(V::load(byp[k] + x), V::load(rp[k] + x), acc);
       }
       acc.store(o + x);
     }

@@ -2,12 +2,15 @@
 // Variable-coefficient star stencil in 3D = banded-matrix vector product
 // with NS = 6S+1 bands (7 bands for slope 1 — the paper's Figs. 11/12).
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 #include <string>
 
+#include "core/options.hpp"
 #include "grid/grid3d.hpp"
 #include "simd/vecd.hpp"
+#include "threads/first_touch.hpp"
 
 namespace cats {
 
@@ -19,8 +22,8 @@ class Banded3D {
   static constexpr int kBands = 6 * S + 1;  // NS
 
   Banded3D(int width, int height, int depth)
-      : buf_{Grid3D<double>(width, height, depth, S),
-             Grid3D<double>(width, height, depth, S)} {
+      : buf_{Grid3D<double>(width, height, depth, S, kDeferFirstTouch),
+             Grid3D<double>(width, height, depth, S, kDeferFirstTouch)} {
     bands_.reserve(kBands);
     for (int b = 0; b < kBands; ++b)
       bands_.emplace_back(width, height, depth, S);
@@ -43,6 +46,34 @@ class Banded3D {
     buf_[0].fill(bnd);
     buf_[1].fill(bnd);
     buf_[0].fill_interior(f);
+  }
+
+  /// init() with NUMA-aware placement (see threads/first_touch.hpp). Band
+  /// coefficient grids are placed by init_bands (serial, read-shared).
+  template <class F>
+  void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
+    const int W = width(), H = height();
+    first_touch_slabs(depth(), S, opt.threads, opt.affinity,
+                      [&](int, int z0, int z1) {
+                        buf_[0].fill_slabs(z0, z1, bnd);
+                        buf_[1].fill_slabs(z0, z1, bnd);
+                        for (int z = std::max(z0, 0);
+                             z < std::min(z1, depth()); ++z)
+                          for (int y = 0; y < H; ++y)
+                            for (int x = 0; x < W; ++x)
+                              buf_[0].at(x, y, z) = f(x, y, z);
+                      });
+  }
+
+  /// Leading-edge hint: next source plane plus its center-band coefficients.
+  void prefetch_front(int t, int p) const {
+    const int z = std::min(p + S, depth() - 1 + S);
+    const double* r = buf_[(t - 1) & 1].row(0, z);
+    const double* b = bands_[0].row(0, z);
+    for (int i = 0; i < 4; ++i) {
+      simd::prefetch_read(r + i * 8);
+      simd::prefetch_read(b + i * 8);
+    }
   }
 
   template <class G>
@@ -98,12 +129,12 @@ class Banded3D {
     for (; x + V::width <= x1; x += V::width) {
       V acc = V::load(bc + x) * V::load(c + x);
       for (int k = 0; k < S; ++k) {
-        acc = acc + V::load(bxm[k] + x) * V::load(c + x - (k + 1));
-        acc = acc + V::load(bxp[k] + x) * V::load(c + x + (k + 1));
-        acc = acc + V::load(bym[k] + x) * V::load(rym[k] + x);
-        acc = acc + V::load(byp[k] + x) * V::load(ryp[k] + x);
-        acc = acc + V::load(bzm[k] + x) * V::load(rzm[k] + x);
-        acc = acc + V::load(bzp[k] + x) * V::load(rzp[k] + x);
+        acc = V::fma(V::load(bxm[k] + x), V::load(c + x - (k + 1)), acc);
+        acc = V::fma(V::load(bxp[k] + x), V::load(c + x + (k + 1)), acc);
+        acc = V::fma(V::load(bym[k] + x), V::load(rym[k] + x), acc);
+        acc = V::fma(V::load(byp[k] + x), V::load(ryp[k] + x), acc);
+        acc = V::fma(V::load(bzm[k] + x), V::load(rzm[k] + x), acc);
+        acc = V::fma(V::load(bzp[k] + x), V::load(rzp[k] + x), acc);
       }
       acc.store(o + x);
     }

@@ -79,7 +79,7 @@ class Box2D {
       V acc = V::zero();
       for (int dy = 0; dy < kSide; ++dy)
         for (int dx = 0; dx < kSide; ++dx)
-          acc = acc + wv[dy * kSide + dx] * V::load(rows[dy] + x + dx - S);
+          acc = V::fma(wv[dy * kSide + dx], V::load(rows[dy] + x + dx - S), acc);
       acc.store(o + x);
     }
     return x;

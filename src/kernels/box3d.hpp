@@ -79,7 +79,7 @@ class Box3D {
       V acc = V::zero();
       for (int p = 0; p < kSide * kSide; ++p)
         for (int dx = 0; dx < kSide; ++dx)
-          acc = acc + wv[p * kSide + dx] * V::load(rows[p] + x + dx - S);
+          acc = V::fma(wv[p * kSide + dx], V::load(rows[p] + x + dx - S), acc);
       acc.store(o + x);
     }
     return x;

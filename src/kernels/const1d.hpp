@@ -75,8 +75,8 @@ class ConstStar1D {
     for (; x + V::width <= x1; x += V::width) {
       V acc = wc * V::load(c + x);
       for (int k = 0; k < S; ++k) {
-        acc = acc + wxm[k] * V::load(c + x - (k + 1));
-        acc = acc + wxp[k] * V::load(c + x + (k + 1));
+        acc = V::fma(wxm[k], V::load(c + x - (k + 1)), acc);
+        acc = V::fma(wxp[k], V::load(c + x + (k + 1)), acc);
       }
       acc.store(o + x);
     }

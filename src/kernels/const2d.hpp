@@ -6,13 +6,16 @@
 // (x-k, x+k, y-k, y+k), all distinct ("general" stencil: one multiply per
 // point, matching the paper's 5 muls + 4 adds in 2D).
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 #include <string>
 
+#include "core/options.hpp"
 #include "grid/grid2d.hpp"
 #include "simd/vecd.hpp"
+#include "threads/first_touch.hpp"
 
 namespace cats {
 
@@ -29,8 +32,8 @@ class ConstStar2D {
   };
 
   ConstStar2D(int width, int height, const Weights& w)
-      : w_(w), buf_{Grid2D<double>(width, height, S),
-                    Grid2D<double>(width, height, S)} {}
+      : w_(w), buf_{Grid2D<double>(width, height, S, kDeferFirstTouch),
+                    Grid2D<double>(width, height, S, kDeferFirstTouch)} {}
 
   int width() const { return buf_[0].width(); }
   int height() const { return buf_[0].height(); }
@@ -46,6 +49,31 @@ class ConstStar2D {
     buf_[0].fill(bnd);
     buf_[1].fill(bnd);
     buf_[0].fill_interior(f);
+  }
+
+  /// init() with NUMA-aware placement: both buffers are first-touched in
+  /// parallel with the same row-slab partition and pinning policy the
+  /// schemes use (threads/first_touch.hpp), then seeded with f.
+  template <class F>
+  void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
+    const int W = width();
+    first_touch_slabs(height(), S, opt.threads, opt.affinity,
+                      [&](int, int y0, int y1) {
+                        buf_[0].fill_rows(y0, y1, bnd);
+                        buf_[1].fill_rows(y0, y1, bnd);
+                        for (int y = std::max(y0, 0);
+                             y < std::min(y1, height()); ++y)
+                          for (int x = 0; x < W; ++x)
+                            buf_[0].at(x, y) = f(x, y);
+                      });
+  }
+
+  /// Leading-edge hint (see kernel_has_prefetch_front): start the source row
+  /// the wavefront sweeps next; the hardware prefetcher continues the stream.
+  void prefetch_front(int t, int p) const {
+    const Grid2D<double>& src = buf_[(t - 1) & 1];
+    const double* r = src.row(std::min(p + S, height() - 1 + S));
+    for (int i = 0; i < 4; ++i) simd::prefetch_read(r + i * 8);
   }
 
   const Grid2D<double>& grid_at(int t) const { return buf_[t & 1]; }
@@ -94,10 +122,10 @@ class ConstStar2D {
     for (; x + V::width <= x1; x += V::width) {
       V acc = wc * V::load(c + x);
       for (int k = 0; k < S; ++k) {
-        acc = acc + wxm[k] * V::load(c + x - (k + 1));
-        acc = acc + wxp[k] * V::load(c + x + (k + 1));
-        acc = acc + wym[k] * V::load(rm[k] + x);
-        acc = acc + wyp[k] * V::load(rp[k] + x);
+        acc = V::fma(wxm[k], V::load(c + x - (k + 1)), acc);
+        acc = V::fma(wxp[k], V::load(c + x + (k + 1)), acc);
+        acc = V::fma(wym[k], V::load(rm[k] + x), acc);
+        acc = V::fma(wyp[k], V::load(rp[k] + x), acc);
       }
       acc.store(o + x);
     }

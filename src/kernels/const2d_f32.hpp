@@ -91,10 +91,10 @@ class FloatStar2D {
     for (; x + V::width <= x1; x += V::width) {
       V acc = wc * V::load(c + x);
       for (int k = 0; k < S; ++k) {
-        acc = acc + wxm[k] * V::load(c + x - (k + 1));
-        acc = acc + wxp[k] * V::load(c + x + (k + 1));
-        acc = acc + wym[k] * V::load(rm[k] + x);
-        acc = acc + wyp[k] * V::load(rp[k] + x);
+        acc = V::fma(wxm[k], V::load(c + x - (k + 1)), acc);
+        acc = V::fma(wxp[k], V::load(c + x + (k + 1)), acc);
+        acc = V::fma(wym[k], V::load(rm[k] + x), acc);
+        acc = V::fma(wyp[k], V::load(rp[k] + x), acc);
       }
       acc.store(o + x);
     }

@@ -3,13 +3,16 @@
 // slope 2, 19-point for slope 3 — the Section III-E sweep). 6S+1 points,
 // 12S+1 flops.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
 #include <string>
 
+#include "core/options.hpp"
 #include "grid/grid3d.hpp"
 #include "simd/vecd.hpp"
+#include "threads/first_touch.hpp"
 
 namespace cats {
 
@@ -26,8 +29,9 @@ class ConstStar3D {
   };
 
   ConstStar3D(int width, int height, int depth, const Weights& w)
-      : w_(w), buf_{Grid3D<double>(width, height, depth, S),
-                    Grid3D<double>(width, height, depth, S)} {}
+      : w_(w),
+        buf_{Grid3D<double>(width, height, depth, S, kDeferFirstTouch),
+             Grid3D<double>(width, height, depth, S, kDeferFirstTouch)} {}
 
   int width() const { return buf_[0].width(); }
   int height() const { return buf_[0].height(); }
@@ -43,6 +47,31 @@ class ConstStar3D {
     buf_[0].fill(bnd);
     buf_[1].fill(bnd);
     buf_[0].fill_interior(f);
+  }
+
+  /// init() with NUMA-aware placement: z-slab partitioned parallel first
+  /// touch under the schemes' pinning policy (threads/first_touch.hpp).
+  template <class F>
+  void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
+    const int W = width(), H = height();
+    first_touch_slabs(depth(), S, opt.threads, opt.affinity,
+                      [&](int, int z0, int z1) {
+                        buf_[0].fill_slabs(z0, z1, bnd);
+                        buf_[1].fill_slabs(z0, z1, bnd);
+                        for (int z = std::max(z0, 0);
+                             z < std::min(z1, depth()); ++z)
+                          for (int y = 0; y < H; ++y)
+                            for (int x = 0; x < W; ++x)
+                              buf_[0].at(x, y, z) = f(x, y, z);
+                      });
+  }
+
+  /// Leading-edge hint: start the next source plane's first rows (the
+  /// wavefront sweeps +z); the hardware prefetcher continues each stream.
+  void prefetch_front(int t, int p) const {
+    const Grid3D<double>& src = buf_[(t - 1) & 1];
+    const double* r = src.row(0, std::min(p + S, depth() - 1 + S));
+    for (int i = 0; i < 4; ++i) simd::prefetch_read(r + i * 8);
   }
 
   const Grid3D<double>& grid_at(int t) const { return buf_[t & 1]; }
@@ -95,12 +124,12 @@ class ConstStar3D {
     for (; x + V::width <= x1; x += V::width) {
       V acc = wc * V::load(c + x);
       for (int k = 0; k < S; ++k) {
-        acc = acc + wxm[k] * V::load(c + x - (k + 1));
-        acc = acc + wxp[k] * V::load(c + x + (k + 1));
-        acc = acc + wym[k] * V::load(rym[k] + x);
-        acc = acc + wyp[k] * V::load(ryp[k] + x);
-        acc = acc + wzm[k] * V::load(rzm[k] + x);
-        acc = acc + wzp[k] * V::load(rzp[k] + x);
+        acc = V::fma(wxm[k], V::load(c + x - (k + 1)), acc);
+        acc = V::fma(wxp[k], V::load(c + x + (k + 1)), acc);
+        acc = V::fma(wym[k], V::load(rym[k] + x), acc);
+        acc = V::fma(wyp[k], V::load(ryp[k] + x), acc);
+        acc = V::fma(wzm[k], V::load(rzm[k] + x), acc);
+        acc = V::fma(wzp[k], V::load(rzp[k] + x), acc);
       }
       acc.store(o + x);
     }

@@ -78,7 +78,7 @@ class SumStar3D {
       sum = sum + V::load(zm + x);
       sum = sum + V::load(zp + x);
       V acc = ws * sum;
-      if constexpr (WithCenter) acc = acc + wc * V::load(c + x);
+      if constexpr (WithCenter) acc = V::fma(wc, V::load(c + x), acc);
       acc.store(o + x);
     }
     return x;

@@ -8,6 +8,7 @@
 // guaranteed x86-64 baseline, AVX2/AVX-512 when -march allows) behind one
 // type so kernels are written once.
 
+#include <cmath>
 #include <cstddef>
 
 #if defined(__AVX512F__)
@@ -22,6 +23,17 @@
 #endif
 
 namespace cats::simd {
+
+/// Read-prefetch hint with low temporal locality (kernel prefetch_front
+/// implementations use it on the leading wavefront edge); no-op where the
+/// builtin is unavailable.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 1);
+#else
+  (void)p;
+#endif
+}
 
 #if defined(__AVX512F__)
 
@@ -135,6 +147,9 @@ struct VecF {
   friend VecF operator+(VecF a, VecF b) { return {_mm512_add_ps(a.v, b.v)}; }
   friend VecF operator-(VecF a, VecF b) { return {_mm512_sub_ps(a.v, b.v)}; }
   friend VecF operator*(VecF a, VecF b) { return {_mm512_mul_ps(a.v, b.v)}; }
+  static VecF fma(VecF a, VecF b, VecF c) {
+    return {_mm512_fmadd_ps(a.v, b.v, c.v)};
+  }
 };
 
 #elif defined(__AVX2__) || defined(__AVX__)
@@ -149,6 +164,13 @@ struct VecF {
   friend VecF operator+(VecF a, VecF b) { return {_mm256_add_ps(a.v, b.v)}; }
   friend VecF operator-(VecF a, VecF b) { return {_mm256_sub_ps(a.v, b.v)}; }
   friend VecF operator*(VecF a, VecF b) { return {_mm256_mul_ps(a.v, b.v)}; }
+  static VecF fma(VecF a, VecF b, VecF c) {
+#if defined(__FMA__)
+    return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+#else
+    return a * b + c;
+#endif
+  }
 };
 
 #elif defined(CATS_SSE2_ONLY)
@@ -163,6 +185,7 @@ struct VecF {
   friend VecF operator+(VecF a, VecF b) { return {_mm_add_ps(a.v, b.v)}; }
   friend VecF operator-(VecF a, VecF b) { return {_mm_sub_ps(a.v, b.v)}; }
   friend VecF operator*(VecF a, VecF b) { return {_mm_mul_ps(a.v, b.v)}; }
+  static VecF fma(VecF a, VecF b, VecF c) { return a * b + c; }
 };
 
 #else
@@ -177,6 +200,7 @@ struct VecF {
   friend VecF operator+(VecF a, VecF b) { return {a.v + b.v}; }
   friend VecF operator-(VecF a, VecF b) { return {a.v - b.v}; }
   friend VecF operator*(VecF a, VecF b) { return {a.v * b.v}; }
+  static VecF fma(VecF a, VecF b, VecF c) { return {a.v * b.v + c.v}; }
 };
 
 #endif
@@ -192,6 +216,13 @@ struct ScalarF {
   friend ScalarF operator+(ScalarF a, ScalarF b) { return {a.v + b.v}; }
   friend ScalarF operator-(ScalarF a, ScalarF b) { return {a.v - b.v}; }
   friend ScalarF operator*(ScalarF a, ScalarF b) { return {a.v * b.v}; }
+  static ScalarF fma(ScalarF a, ScalarF b, ScalarF c) {
+#if defined(__FMA__) || defined(__AVX512F__)
+    return {std::fmaf(a.v, b.v, c.v)};
+#else
+    return {a.v * b.v + c.v};
+#endif
+  }
 };
 
 /// Scalar twin of VecD with the identical interface. Kernels implement their
@@ -200,6 +231,12 @@ struct ScalarF {
 /// operation tree per lane (and the build disables FP contraction), the SIMD
 /// and scalar paths produce bit-identical results — the basis of the
 /// bit-exact verification tests.
+///
+/// fma() preserves that pairing: exactly when the active VecD fuses
+/// (hardware FMA present: __FMA__ or AVX-512), ScalarD uses std::fma, whose
+/// single correctly-rounded step is bitwise identical to each vfmadd lane.
+/// Otherwise both sides fall back to the same unfused multiply-add. Either
+/// way the two paths stay bit-identical in every build configuration.
 struct ScalarD {
   static constexpr int width = 1;
   double v;
@@ -213,7 +250,11 @@ struct ScalarD {
   friend ScalarD operator-(ScalarD a, ScalarD b) { return {a.v - b.v}; }
   friend ScalarD operator*(ScalarD a, ScalarD b) { return {a.v * b.v}; }
   static ScalarD fma(ScalarD a, ScalarD b, ScalarD c) {
+#if defined(__FMA__) || defined(__AVX512F__)
+    return {std::fma(a.v, b.v, c.v)};
+#else
     return {a.v * b.v + c.v};
+#endif
   }
   double hsum() const { return v; }
 };

@@ -1,0 +1,173 @@
+#include "sysinfo/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace cats {
+namespace {
+
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string s;
+  if (in) std::getline(in, s);
+  return s;
+}
+
+int read_int(const std::string& path, int fallback) {
+  const std::string s = read_line(path);
+  if (s.empty() || (s[0] != '-' && (s[0] < '0' || s[0] > '9'))) return fallback;
+  return std::atoi(s.c_str());
+}
+
+}  // namespace
+
+const char* affinity_policy_name(AffinityPolicy p) {
+  switch (p) {
+    case AffinityPolicy::None: return "none";
+    case AffinityPolicy::Compact: return "compact";
+    case AffinityPolicy::Scatter: return "scatter";
+  }
+  return "?";
+}
+
+std::vector<int> parse_cpu_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t i = 0;
+  auto digit = [&] { return i < s.size() && s[i] >= '0' && s[i] <= '9'; };
+  auto number = [&] {
+    int n = 0;
+    while (digit()) n = n * 10 + (s[i++] - '0');
+    return n;
+  };
+  while (i < s.size()) {
+    if (!digit()) { ++i; continue; }
+    const int lo = number();
+    int hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (!digit()) break;  // malformed trailing dash
+      hi = number();
+    }
+    for (int c = lo; c <= hi; ++c) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Topology parse_topology(const std::string& root) {
+  Topology t;
+  const std::string cpu_root = root + "/cpu";
+  std::vector<int> online = parse_cpu_list(read_line(cpu_root + "/online"));
+  if (online.empty()) return t;  // known == false
+
+  // NUMA node of each CPU, from <root>/node/nodeM/cpulist. A machine with no
+  // node directories (non-NUMA kernel, or our fixtures) is one node.
+  std::map<int, int> node_of;
+  int max_node = 0;
+  for (int n = 0; n < 1024; ++n) {
+    const std::string list =
+        read_line(root + "/node/node" + std::to_string(n) + "/cpulist");
+    if (list.empty()) {
+      if (n > 0) break;  // node0 may legitimately be absent; stop at first gap
+      continue;
+    }
+    for (int cpu : parse_cpu_list(list)) node_of[cpu] = n;
+    max_node = n;
+  }
+
+  std::map<std::pair<int, int>, int> cpus_in_core;
+  std::map<int, bool> packages;
+  for (int cpu : online) {
+    const std::string dir = cpu_root + "/cpu" + std::to_string(cpu) + "/topology/";
+    CpuPlace p;
+    p.cpu = cpu;
+    p.core = read_int(dir + "core_id", cpu);
+    p.package = read_int(dir + "physical_package_id", 0);
+    auto it = node_of.find(cpu);
+    p.node = it != node_of.end() ? it->second : 0;
+    p.smt_sibling = cpus_in_core[{p.package, p.core}]++ > 0;
+    packages[p.package] = true;
+    t.cpus.push_back(p);
+  }
+  t.n_cores = static_cast<int>(cpus_in_core.size());
+  t.n_packages = static_cast<int>(packages.size());
+  t.n_nodes = node_of.empty() ? 1 : max_node + 1;
+  for (const auto& [key, count] : cpus_in_core)
+    if (count > 1) t.smt = true;
+  t.known = true;
+  return t;
+}
+
+std::vector<int> Topology::pin_order(AffinityPolicy policy, int slots) const {
+  std::vector<int> order;
+  if (!known || policy == AffinityPolicy::None || slots <= 0 || cpus.empty())
+    return order;
+
+  // Primary CPUs (one per physical core) first, SMT siblings as overflow: a
+  // sibling shares its core's L1/L2 and would halve the private-cache budget
+  // the Eq. 1/2 chunk sizes were derived from.
+  std::vector<CpuPlace> primary, siblings;
+  for (const CpuPlace& p : cpus) (p.smt_sibling ? siblings : primary).push_back(p);
+
+  auto compact = [](const CpuPlace& a, const CpuPlace& b) {
+    return std::tie(a.node, a.package, a.core, a.cpu) <
+           std::tie(b.node, b.package, b.core, b.cpu);
+  };
+  std::sort(primary.begin(), primary.end(), compact);
+  std::sort(siblings.begin(), siblings.end(), compact);
+
+  auto emit = [&](std::vector<CpuPlace>& v) {
+    if (policy == AffinityPolicy::Scatter && n_nodes > 1) {
+      // Round-robin across nodes: take the next unused CPU of each node in
+      // turn so `slots` threads spread over all memory controllers.
+      std::vector<std::size_t> cursor(static_cast<std::size_t>(n_nodes), 0);
+      std::vector<std::vector<const CpuPlace*>> by_node(
+          static_cast<std::size_t>(n_nodes));
+      for (const CpuPlace& p : v)
+        if (p.node >= 0 && p.node < n_nodes)
+          by_node[static_cast<std::size_t>(p.node)].push_back(&p);
+      for (std::size_t taken = 0; taken < v.size();) {
+        for (std::size_t n = 0; n < by_node.size(); ++n) {
+          if (cursor[n] < by_node[n].size()) {
+            order.push_back(by_node[n][cursor[n]++]->cpu);
+            ++taken;
+          }
+        }
+      }
+    } else {
+      for (const CpuPlace& p : v) order.push_back(p.cpu);
+    }
+  };
+  emit(primary);
+  emit(siblings);
+
+  // More slots than CPUs: wrap around so every thread still gets a home.
+  const std::size_t n = order.size();
+  while (order.size() < static_cast<std::size_t>(slots))
+    order.push_back(order[order.size() % n]);
+  order.resize(static_cast<std::size_t>(slots));
+  return order;
+}
+
+const Topology& system_topology() {
+  static const Topology t = parse_topology("/sys/devices/system");
+  return t;
+}
+
+std::string topology_string(const Topology& t) {
+  if (!t.known) return "unknown";
+  std::ostringstream os;
+  os << t.n_cores << (t.n_cores == 1 ? " core / " : " cores / ")
+     << t.cpus.size() << (t.cpus.size() == 1 ? " cpu" : " cpus") << ", "
+     << t.n_nodes << (t.n_nodes == 1 ? " node" : " nodes")
+     << (t.smt ? ", SMT" : "");
+  return os.str();
+}
+
+}  // namespace cats

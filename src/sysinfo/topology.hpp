@@ -1,0 +1,73 @@
+#pragma once
+// CPU/NUMA topology detection and thread placement orders.
+//
+// CATS's cache model (Eq. 1/2) budgets for the *private* cache of the core a
+// thread runs on; a thread that migrates mid-chunk drags its wavefront
+// working set across caches and the budget is void. The execution layer
+// therefore needs to know which logical CPUs share a core (SMT siblings),
+// which cores share a package, and which NUMA node each CPU's memory
+// controller belongs to. Everything is parsed from the Linux sysfs tree; the
+// parser takes the tree root as a parameter so tests can run it against
+// canned fixture directories. On non-Linux systems (or a stripped /sys)
+// detection reports `known == false` and every consumer degrades to the
+// unpinned behavior.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Thread-pinning policy for the persistent pool (RunOptions::affinity).
+/// Both placement policies put one thread per physical core before using SMT
+/// siblings — a sibling sharing the core's L1/L2 would halve the private
+/// cache Eq. 1/2 size for.
+enum class AffinityPolicy {
+  None,     ///< no pinning; the OS scheduler places threads (default)
+  Compact,  ///< consecutive cores of one node/package first (shared-L3 locality)
+  Scatter,  ///< round-robin across NUMA nodes/packages (maximum memory bandwidth)
+};
+
+const char* affinity_policy_name(AffinityPolicy p);
+
+/// One online logical CPU and where it lives.
+struct CpuPlace {
+  int cpu = 0;      ///< logical CPU id (the `cpuN` sysfs index)
+  int core = 0;     ///< core id within the package (`topology/core_id`)
+  int package = 0;  ///< physical package/socket (`topology/physical_package_id`)
+  int node = 0;     ///< NUMA node owning this CPU's local memory
+  bool smt_sibling = false;  ///< not the first logical CPU of its core
+};
+
+struct Topology {
+  std::vector<CpuPlace> cpus;  ///< online CPUs, ascending cpu id
+  int n_cores = 0;             ///< distinct (package, core) pairs
+  int n_packages = 0;
+  int n_nodes = 1;
+  bool smt = false;   ///< any core carries more than one logical CPU
+  bool known = false; ///< parse succeeded; false => consumers must not pin
+
+  /// Logical-CPU pin order for `slots` threads under `policy`. Physical cores
+  /// come first (Compact: grouped by node then package; Scatter: round-robin
+  /// over nodes), SMT siblings only after every core has one thread. Empty
+  /// when the topology is unknown or the policy is None.
+  std::vector<int> pin_order(AffinityPolicy policy, int slots) const;
+};
+
+/// Parse a sysfs-shaped tree: `<root>/cpu/online`, `<root>/cpu/cpuN/topology/
+/// {core_id,physical_package_id}` and `<root>/node/nodeM/cpulist`. Missing
+/// node directories mean "one node"; a missing/unreadable cpu tree yields
+/// `known == false`.
+Topology parse_topology(const std::string& root);
+
+/// Cached parse of /sys/devices/system (thread-safe, detected once).
+const Topology& system_topology();
+
+/// One-line summary for bench headers, e.g. "4 cores / 8 cpus, 1 node, SMT".
+std::string topology_string(const Topology& t);
+
+/// Parse a sysfs CPU list string like "0-3,8,10-11" into ids; tolerant of
+/// trailing newlines/spaces. Exposed for tests.
+std::vector<int> parse_cpu_list(const std::string& s);
+
+}  // namespace cats

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "threads/cpu_pause.hpp"
+
 namespace cats {
 
 class SpinBarrier {
@@ -26,9 +28,13 @@ class SpinBarrier {
       sense_.store(my_sense, std::memory_order_release);
       return;
     }
-    int spins = 0;
+    int spins = 0, exponent = 0;
     while (sense_.load(std::memory_order_acquire) != my_sense) {
-      if (++spins > kSpinLimit) std::this_thread::yield();
+      if (++spins > kSpinLimit) {
+        std::this_thread::yield();
+      } else {
+        backoff_pause(exponent);
+      }
     }
   }
 

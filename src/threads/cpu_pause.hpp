@@ -1,0 +1,36 @@
+#pragma once
+// Spin-wait pause primitive and exponential backoff policy.
+//
+// A tight atomic-load loop saturates the core's load ports and — on SMT —
+// steals issue slots from the sibling hyperthread doing useful stencil work.
+// `_mm_pause` (x86 PAUSE) de-pipelines the spin and hints the memory-order
+// machinery; on other ISAs we fall back to a compiler barrier. Waiters back
+// off exponentially (1, 2, 4, ... pauses per probe) so short waits stay in
+// user space at full reactivity while long waits consume almost no issue
+// bandwidth before escalating to yield.
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cats {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("isb" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Pause 2^k times, saturating at `cap` pauses per call.
+inline void backoff_pause(int& exponent, int cap = 64) {
+  int n = 1 << exponent;
+  if (n > cap) n = cap;
+  for (int i = 0; i < n; ++i) cpu_pause();
+  if ((1 << exponent) < cap) ++exponent;
+}
+
+}  // namespace cats

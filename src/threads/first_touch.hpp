@@ -1,0 +1,43 @@
+#pragma once
+// NUMA first-touch initialization helper.
+//
+// Linux places a physical page on the NUMA node of the thread that first
+// writes it. Serial init therefore lands every grid page on one node and
+// every remote thread pays interconnect latency for its whole tile. The
+// schemes partition the traversal dimension (y rows in 2D, z slabs in 3D)
+// across threads, so initializing with the same slab partition — under the
+// same pinning policy — places each page on the node of the thread that will
+// sweep it. Kernels expose this as parallel_init (same signature as init plus
+// RunOptions); grids allocate with kDeferFirstTouch so the init fill really
+// is the first write.
+//
+// On machines with one NUMA node (or pinning unavailable) this degrades to a
+// plain parallel fill: correct, just without a placement benefit.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sysinfo/topology.hpp"
+#include "threads/thread_pool.hpp"
+
+namespace cats {
+
+/// Run body(tid, lo, hi) on `threads` pool participants, where [lo, hi) is
+/// tid's slab of [0, extent) extended by `ghost` at the domain ends (first
+/// and last slab take the ghost rows/slabs, so the union covers the whole
+/// allocation exactly once).
+template <class Body>
+void first_touch_slabs(int extent, int ghost, int threads,
+                       AffinityPolicy affinity, Body&& body) {
+  const int P = std::clamp(threads, 1, std::max(1, extent));
+  ThreadPool pool(P, affinity);
+  pool.run([&](int tid) {
+    std::int64_t lo = static_cast<std::int64_t>(extent) * tid / P;
+    std::int64_t hi = static_cast<std::int64_t>(extent) * (tid + 1) / P;
+    if (tid == 0) lo = -ghost;
+    if (tid == P - 1) hi = extent + ghost;
+    body(tid, static_cast<int>(lo), static_cast<int>(hi));
+  });
+}
+
+}  // namespace cats

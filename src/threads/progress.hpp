@@ -6,12 +6,55 @@
 // its neighbor waits for that counter to pass a bound (split-tiling in
 // CATS1), or a diamond publishes a done flag that the two diamonds above it
 // wait on (CATS2). Cells are padded to a cache line to avoid false sharing.
+//
+// Waits are adaptive: probes back off with exponentially many PAUSEs (see
+// threads/cpu_pause.hpp) before escalating to yield at kSpinLimit, and the
+// slow path measures its own wall-clock cost so RunStats can report wait
+// *time*, not just an iteration count. The fast path (condition already
+// satisfied) touches no clock.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
+#include "threads/cpu_pause.hpp"
+
 namespace cats {
+
+/// Outcome of one wait: probe iterations and wall-clock nanoseconds spent.
+/// Both are 0 when the condition already held on the first probe.
+struct WaitResult {
+  std::int64_t spins = 0;
+  std::int64_t ns = 0;
+};
+
+namespace detail {
+
+/// Shared adaptive-wait loop: probes `satisfied()` with exponential PAUSE
+/// backoff, escalating to yield after ProgressCell::kSpinLimit probes. The
+/// clock starts only once the first probe fails, so uncontended waits cost
+/// one load.
+template <class Satisfied>
+WaitResult adaptive_wait(Satisfied&& satisfied, int spin_limit) {
+  WaitResult r;
+  if (satisfied()) return r;
+  const auto start = std::chrono::steady_clock::now();
+  int exponent = 0;
+  do {
+    if (++r.spins > spin_limit) {
+      std::this_thread::yield();
+    } else {
+      backoff_pause(exponent);
+    }
+  } while (!satisfied());
+  r.ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count();
+  return r;
+}
+
+}  // namespace detail
 
 /// Monotone progress counter: publish() with release, wait_ge() with acquire.
 struct alignas(64) ProgressCell {
@@ -23,14 +66,11 @@ struct alignas(64) ProgressCell {
 
   std::int64_t load() const { return value.load(std::memory_order_acquire); }
 
-  /// Blocks until the published value reaches `bound`; returns the number of
-  /// spin/yield iterations (0 = the condition already held).
-  std::int64_t wait_ge(std::int64_t bound) const {
-    std::int64_t spins = 0;
-    while (value.load(std::memory_order_acquire) < bound) {
-      if (++spins > kSpinLimit) std::this_thread::yield();
-    }
-    return spins;
+  /// Blocks until the published value reaches `bound`.
+  WaitResult wait_ge(std::int64_t bound) const {
+    return detail::adaptive_wait(
+        [&] { return value.load(std::memory_order_acquire) >= bound; },
+        kSpinLimit);
   }
 
   static constexpr int kSpinLimit = 1024;
@@ -43,13 +83,10 @@ struct DoneFlag {
   void set() { done.store(1, std::memory_order_release); }
   bool test() const { return done.load(std::memory_order_acquire) != 0; }
 
-  /// Blocks until set; returns the spin/yield iteration count (0 = no wait).
-  std::int64_t wait() const {
-    std::int64_t spins = 0;
-    while (!test()) {
-      if (++spins > ProgressCell::kSpinLimit) std::this_thread::yield();
-    }
-    return spins;
+  /// Blocks until set.
+  WaitResult wait() const {
+    return detail::adaptive_wait([&] { return test(); },
+                                 ProgressCell::kSpinLimit);
   }
 };
 

@@ -1,11 +1,73 @@
 #include "threads/thread_pool.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace cats {
+namespace {
 
-ThreadPool::ThreadPool(int threads) : n_(threads) {
+/// Pinning failures degrade to the unpinned scheduler; say so once per
+/// process so benchmarks are not silently unpinned.
+void warn_unpinned_once(const char* why) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr, "cats: thread pinning unavailable (%s); running unpinned\n",
+                 why);
+  }
+}
+
+}  // namespace
+
+bool ThreadPool::pin_self(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+ThreadPool::ThreadPool(int threads, AffinityPolicy affinity,
+                       const Topology* topology)
+    : n_(threads) {
   assert(threads >= 1);
+
+  if (affinity != AffinityPolicy::None) {
+    const Topology& topo = topology ? *topology : system_topology();
+    pin_order_ = topo.pin_order(affinity, n_);
+    if (pin_order_.empty()) {
+      warn_unpinned_once("topology unknown");
+    } else {
+#if defined(__linux__)
+      // Save the caller's mask so destruction leaves the thread as found.
+      cpu_set_t prev;
+      CPU_ZERO(&prev);
+      if (pthread_getaffinity_np(pthread_self(), sizeof(prev), &prev) == 0) {
+        saved_mask_.assign(reinterpret_cast<unsigned char*>(&prev),
+                           reinterpret_cast<unsigned char*>(&prev) + sizeof(prev));
+      }
+#endif
+      if (pin_self(pin_order_[0])) {
+        caller_pinned_ = true;
+        pinned_.fetch_add(1, std::memory_order_acq_rel);
+      } else {
+        warn_unpinned_once("sched_setaffinity failed");
+        pin_order_.clear();
+        saved_mask_.clear();
+      }
+    }
+  }
+
   workers_.reserve(static_cast<std::size_t>(n_ - 1));
   for (int tid = 1; tid < n_; ++tid) {
     workers_.emplace_back([this, tid] { worker_loop(tid); });
@@ -19,6 +81,14 @@ ThreadPool::~ThreadPool() {
   }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
+
+#if defined(__linux__)
+  if (caller_pinned_ && saved_mask_.size() == sizeof(cpu_set_t)) {
+    cpu_set_t prev;
+    std::memcpy(&prev, saved_mask_.data(), sizeof(prev));
+    pthread_setaffinity_np(pthread_self(), sizeof(prev), &prev);
+  }
+#endif
 }
 
 void ThreadPool::run(const std::function<void(int)>& job) {
@@ -52,6 +122,13 @@ void ThreadPool::run(const std::function<void(int)>& job) {
 }
 
 void ThreadPool::worker_loop(int tid) {
+  if (static_cast<std::size_t>(tid) < pin_order_.size()) {
+    if (pin_self(pin_order_[static_cast<std::size_t>(tid)])) {
+      pinned_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      warn_unpinned_once("sched_setaffinity failed");
+    }
+  }
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;

@@ -6,7 +6,16 @@
 // persistent throughout the computation"). run() executes job(tid) on every
 // participant; the calling thread acts as participant 0 so a 1-thread pool
 // spawns nothing.
+//
+// Pinning (opt-in, RunOptions::affinity): participant tid is bound to the
+// tid-th CPU of Topology::pin_order(policy, threads), so the thread that
+// sweeps a tile keeps its wavefront working set in one private cache and —
+// together with first-touch init (threads/first_touch.hpp) — near its NUMA
+// node. The caller is pinned too (its previous mask is restored on pool
+// destruction). If the topology is unknown or the affinity syscall fails,
+// the pool warns once per process and runs unpinned; results are unaffected.
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -15,12 +24,18 @@
 #include <thread>
 #include <vector>
 
+#include "sysinfo/topology.hpp"
+
 namespace cats {
 
 class ThreadPool {
  public:
-  /// Creates `threads - 1` workers; the caller is participant 0.
-  explicit ThreadPool(int threads);
+  /// Creates `threads - 1` workers; the caller is participant 0. With a
+  /// policy other than None, participants are pinned per `topology`
+  /// (nullptr = the detected system_topology()).
+  explicit ThreadPool(int threads,
+                      AffinityPolicy affinity = AffinityPolicy::None,
+                      const Topology* topology = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,15 +43,27 @@ class ThreadPool {
 
   int size() const { return n_; }
 
+  /// Participants successfully pinned (0 when unpinned or unsupported).
+  /// Workers pin themselves on startup; join via run() before relying on a
+  /// final value in tests.
+  int pinned_count() const { return pinned_.load(std::memory_order_acquire); }
+
   /// Run job(tid) for tid in [0, size()); returns when all are finished.
   /// Exceptions thrown by workers are rethrown on the caller (first one wins).
   void run(const std::function<void(int)>& job);
 
  private:
   void worker_loop(int tid);
+  /// Bind the calling thread to `cpu`; false if unsupported or refused.
+  static bool pin_self(int cpu);
 
   int n_;
   std::vector<std::thread> workers_;
+
+  std::vector<int> pin_order_;  ///< empty = unpinned
+  std::atomic<int> pinned_{0};
+  bool caller_pinned_ = false;
+  std::vector<unsigned char> saved_mask_;  ///< caller's pre-pin affinity mask
 
   std::mutex m_;
   std::condition_variable cv_start_;

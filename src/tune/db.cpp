@@ -70,6 +70,7 @@ bool TuneDb::load(const std::string& path) {
     r.entry.bz = e.get_int("bz");
     r.entry.bx = e.get_int("bx");
     r.entry.run_threads = static_cast<int>(e.get_int("run_threads"));
+    r.entry.affinity = e.get_string("affinity");  // absent in pre-affinity DBs
     r.entry.pilot_seconds = e.get_number("pilot_seconds");
     r.entry.analytic_seconds = e.get_number("analytic_seconds");
     r.entry.cache_bytes = static_cast<std::size_t>(e.get_int("cache_bytes"));
@@ -101,6 +102,7 @@ bool TuneDb::save(const std::string& path) const {
        << "\"bz\": " << r.entry.bz << ", "
        << "\"bx\": " << r.entry.bx << ", "
        << "\"run_threads\": " << r.entry.run_threads << ", "
+       << "\"affinity\": " << json_quote(r.entry.affinity) << ", "
        << "\"pilot_seconds\": " << json_number(r.entry.pilot_seconds) << ", "
        << "\"analytic_seconds\": " << json_number(r.entry.analytic_seconds) << ", "
        << "\"cache_bytes\": " << r.entry.cache_bytes << ", "

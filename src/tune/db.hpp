@@ -39,6 +39,7 @@ struct DbEntry {
   std::int64_t bz = 0;
   std::int64_t bx = 0;
   int run_threads = 0;     ///< tuned worker count; 0 = keep the caller's
+  std::string affinity;    ///< affinity_policy_name(); "" = keep the caller's
   double pilot_seconds = 0.0;     ///< best pilot time
   double analytic_seconds = 0.0;  ///< analytic-seed pilot time (for the record)
   std::size_t cache_bytes = 0;    ///< Z the search ran with (0 = detected)

@@ -13,7 +13,8 @@ constexpr double kFactors[] = {1.0, 0.5, 0.7, 1.4, 2.0};
 
 void push_unique(std::vector<Candidate>& out, const Candidate& c) {
   for (const Candidate& e : out) {
-    if (e.scheme == c.scheme && e.tz == c.tz && e.bz == c.bz && e.bx == c.bx)
+    if (e.scheme == c.scheme && e.tz == c.tz && e.bz == c.bz &&
+        e.bx == c.bx && e.affinity == c.affinity)
       return;
   }
   out.push_back(c);
@@ -94,6 +95,7 @@ RunOptions options_for_candidate(const RunOptions& base, const Candidate& c) {
   o.bz_override = static_cast<int>(c.bz);
   o.bx_override = static_cast<int>(c.bx);
   if (c.threads > 0) o.threads = c.threads;
+  if (c.affinity >= 0) o.affinity = static_cast<AffinityPolicy>(c.affinity);
   return o;
 }
 

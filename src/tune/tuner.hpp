@@ -18,6 +18,7 @@
 #include "bench_harness/machine.hpp"
 #include "bench_harness/timing.hpp"
 #include "core/run.hpp"
+#include "sysinfo/topology.hpp"
 #include "tune/db.hpp"
 
 namespace cats::tune {
@@ -29,15 +30,18 @@ struct TuneConfig {
   double budget_seconds = 20.0;  ///< stop evaluating new candidates after this
   bool cross_scheme = true;      ///< also try the neighboring CATS scheme
   bool tune_threads = true;      ///< re-time the winner at threads/2
+  bool tune_affinity = true;     ///< re-time the winner under each pin policy
 };
 
-/// One point of the search grid. `threads` 0 = the caller's thread count.
+/// One point of the search grid. `threads` 0 = the caller's thread count;
+/// `affinity` -1 = the caller's policy, else an AffinityPolicy value.
 struct Candidate {
   Scheme scheme = Scheme::Auto;
   int tz = 0;
   std::int64_t bz = 0;
   std::int64_t bx = 0;
   int threads = 0;
+  int affinity = -1;
 };
 
 struct Measured {
@@ -128,6 +132,28 @@ TuneResult search(MakeKernel&& make, int T, const RunOptions& base,
       }
     }
 
+    // Affinity axis: re-time the winning configuration under each pinning
+    // policy. Only worth probing when the topology is known and has more
+    // than one CPU — on unknown topologies pinning degrades to unpinned,
+    // so every policy would time the same thing.
+    if (cfg.tune_affinity && system_topology().known &&
+        system_topology().cpus.size() > 1 &&
+        budget.seconds() <= cfg.budget_seconds) {
+      for (AffinityPolicy p :
+           {AffinityPolicy::None, AffinityPolicy::Compact,
+            AffinityPolicy::Scatter}) {
+        if (p == base.affinity) continue;  // the grid already timed this one
+        Candidate c = res.best;
+        c.affinity = static_cast<int>(p);
+        const double secs = time_candidate(c);
+        res.all.push_back({c, secs});
+        if (secs < res.best_seconds) {
+          res.best = c;
+          res.best_seconds = secs;
+        }
+      }
+    }
+
     res.key.machine = bench::machine_fingerprint();
     res.key.kernel = kernel_tuning_id(k0);
     res.key.scheme_key = "auto";
@@ -140,6 +166,10 @@ TuneResult search(MakeKernel&& make, int T, const RunOptions& base,
   res.entry.bz = res.best.bz;
   res.entry.bx = res.best.bx;
   res.entry.run_threads = res.best.threads;
+  res.entry.affinity =
+      res.best.affinity < 0
+          ? ""
+          : affinity_policy_name(static_cast<AffinityPolicy>(res.best.affinity));
   res.entry.pilot_seconds = res.best_seconds;
   res.entry.analytic_seconds = res.analytic_seconds;
   res.entry.cache_bytes = base.cache_bytes;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -44,6 +45,32 @@ inline void expect_bit_equal(const std::vector<double>& got,
   EXPECT_EQ(mismatches, 0u) << label << ": first mismatch at " << first
                             << " got " << got[first] << " want " << want[first]
                             << " (" << mismatches << " total)";
+}
+
+/// Distance in units-in-the-last-place between two doubles (monotone integer
+/// reinterpretation; inf for NaN or a sign change across non-zero values).
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return UINT64_MAX;
+  std::int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(double));
+  std::memcpy(&ib, &b, sizeof(double));
+  // Map the two's-complement float ordering onto an unsigned number line.
+  const auto key = [](std::int64_t i) {
+    return static_cast<std::uint64_t>(i < 0 ? INT64_MIN - i : i) +
+           (UINT64_MAX / 2 + 1);
+  };
+  const std::uint64_t ka = key(ia), kb = key(ib);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+/// FMA-tolerant comparison for reference-vs-kernel checks. A fused a*b+c
+/// skips one intermediate rounding, so a hand-computed unfused reference may
+/// differ from the kernel by ~1 ULP per fused term; `max_ulp` bounds the
+/// accumulated drift (default covers the widest kernel, the 27-point box).
+inline void expect_close_ulp(double got, double want, std::uint64_t max_ulp = 64,
+                             const char* label = "") {
+  EXPECT_LE(ulp_distance(got, want), max_ulp)
+      << label << ": got " << got << " want " << want;
 }
 
 }  // namespace cats::test

@@ -1,0 +1,337 @@
+// FMA consistency tests. The vectorized kernel spans accumulate with
+// V::fma; two invariants keep the bit-exact verification story sound:
+//
+//  1. ScalarD::fma / ScalarF::fma pair exactly with the active VecD / VecF
+//     fma: std::fma when the target fuses in hardware (__FMA__/AVX-512),
+//     the identical unfused multiply-add otherwise. The scalar remainder of
+//     a row therefore stays bit-identical to the SIMD body in every build.
+//  2. run_reference drives the same kernel spans, so scheme-vs-reference
+//     comparisons remain bit-exact; only hand-written unfused references
+//     need a ULP tolerance (expect_close_ulp).
+//
+// This file checks both invariants directly, then sweeps every kernel
+// family through all applicable schemes against its reference. (Gauss-
+// Seidel, whose in-place semantics need their own reference, is covered in
+// test_gauss_seidel.cpp.)
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "core/reference.hpp"
+#include "core/run.hpp"
+#include "helpers.hpp"
+#include "kernels/banded2d.hpp"
+#include "kernels/banded3d.hpp"
+#include "kernels/box2d.hpp"
+#include "kernels/box3d.hpp"
+#include "kernels/const1d.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const2d_f32.hpp"
+#include "kernels/const3d.hpp"
+#include "kernels/fdtd2d.hpp"
+#include "kernels/literature.hpp"
+#include "simd/vecd.hpp"
+
+using namespace cats;
+using cats::test::expect_bit_equal;
+using cats::test::expect_close_ulp;
+
+namespace {
+
+/// Deterministic operand soup: signs, magnitudes spanning ~2^40, and a
+/// catastrophic-cancellation pair where fused and unfused results differ
+/// (a*b rounds to exactly 1.0 unfused, keeps the -2^-58 tail fused).
+std::vector<double> fma_operands(int n, int salt) {
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i)
+    v.push_back((i % 3 ? 1.0 : -1.0) *
+                std::ldexp(cats::test::init2d(i, salt) + 1.5, (i * 7 + salt) % 40 - 20));
+  v[0] = 1.0 + std::ldexp(1.0, -29);  // pairs with 1 - 2^-29 below
+  return v;
+}
+
+}  // namespace
+
+TEST(FmaPairing, ScalarDMatchesEveryVecDLane) {
+  constexpr int W = simd::VecD::width;
+  const int n = 8 * W;
+  std::vector<double> a = fma_operands(n, 1);
+  std::vector<double> b = fma_operands(n, 2);
+  std::vector<double> c = fma_operands(n, 3);
+  b[0] = 1.0 - std::ldexp(1.0, -29);
+  c[0] = -1.0;
+  double out[W];
+  for (int i = 0; i < n; i += W) {
+    simd::VecD::fma(simd::VecD::load(&a[i]), simd::VecD::load(&b[i]),
+                    simd::VecD::load(&c[i]))
+        .store(out);
+    for (int l = 0; l < W; ++l) {
+      const double s =
+          simd::ScalarD::fma({a[i + l]}, {b[i + l]}, {c[i + l]}).v;
+      EXPECT_EQ(std::memcmp(&out[l], &s, sizeof(double)), 0)
+          << "lane " << l << " of chunk " << i << ": vec " << out[l]
+          << " scalar " << s;
+    }
+  }
+}
+
+TEST(FmaPairing, ScalarFMatchesEveryVecFLane) {
+  constexpr int W = simd::VecF::width;
+  const int n = 8 * W;
+  std::vector<float> a(static_cast<std::size_t>(n)), b(a), c(a);
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] =
+        static_cast<float>((i % 2 ? 1.0 : -1.0) * (0.1 + 0.37 * i));
+    b[static_cast<std::size_t>(i)] = static_cast<float>(1.7 - 0.23 * i);
+    c[static_cast<std::size_t>(i)] = static_cast<float>(0.01 * i - 0.4);
+  }
+  a[0] = 1.0f + std::ldexp(1.0f, -12);  // float cancellation pair
+  b[0] = 1.0f - std::ldexp(1.0f, -12);
+  c[0] = -1.0f;
+  float out[W];
+  for (int i = 0; i < n; i += W) {
+    simd::VecF::fma(simd::VecF::load(&a[static_cast<std::size_t>(i)]),
+                    simd::VecF::load(&b[static_cast<std::size_t>(i)]),
+                    simd::VecF::load(&c[static_cast<std::size_t>(i)]))
+        .store(out);
+    for (int l = 0; l < W; ++l) {
+      const std::size_t j = static_cast<std::size_t>(i + l);
+      const float s = simd::ScalarF::fma({a[j]}, {b[j]}, {c[j]}).v;
+      EXPECT_EQ(std::memcmp(&out[l], &s, sizeof(float)), 0)
+          << "lane " << l << " of chunk " << i;
+    }
+  }
+}
+
+TEST(FmaPairing, CancellationResultIsOneOfTheTwoLegalValues) {
+  // 1+e times 1-e with e = 2^-29: the exact product is 1 - 2^-58, which an
+  // unfused multiply rounds to 1.0 (result 0.0 after adding -1), while a
+  // fused step keeps the tail (result -2^-58). Whichever the build picks,
+  // scalar and vector must pick it together — the pairing test above — and
+  // no third value is acceptable.
+  const double e = std::ldexp(1.0, -29);
+  const double r = simd::ScalarD::fma({1.0 + e}, {1.0 - e}, {-1.0}).v;
+  EXPECT_TRUE(r == 0.0 || r == -std::ldexp(1.0, -58)) << r;
+}
+
+// ---------------------------------------------------------------------------
+// SIMD span vs scalar span on the FMA'd variable-coefficient kernels (the
+// const-coefficient ones are covered in test_kernels / test_box_kernels).
+// Odd widths force a scalar remainder, so both code paths run per row.
+
+TEST(FmaKernels, Banded2DSimdSpanBitEqualsScalarSpan) {
+  const int W = 31, H = 9, T = 4;
+  Banded2D<2> a(W, H), b(W, H);
+  a.init(cats::test::init2d, 0.1);
+  b.init(cats::test::init2d, 0.1);
+  a.init_bands(cats::test::band_coeff);
+  b.init_bands(cats::test::band_coeff);
+  for (int t = 1; t <= T; ++t)
+    for (int y = 0; y < H; ++y) {
+      a.process_row(t, y, 0, W);
+      b.process_row_scalar(t, y, 0, W);
+    }
+  std::vector<double> ra, rb;
+  a.copy_result_to(ra, T);
+  b.copy_result_to(rb, T);
+  expect_bit_equal(ra, rb, "banded2d simd-vs-scalar");
+}
+
+TEST(FmaKernels, Banded3DSimdSpanBitEqualsScalarSpan) {
+  const int W = 21, H = 7, D = 5, T = 3;
+  Banded3D<1> a(W, H, D), b(W, H, D);
+  a.init(cats::test::init3d, -0.3);
+  b.init(cats::test::init3d, -0.3);
+  a.init_bands(cats::test::band_coeff3);
+  b.init_bands(cats::test::band_coeff3);
+  for (int t = 1; t <= T; ++t)
+    for (int z = 0; z < D; ++z)
+      for (int y = 0; y < H; ++y) {
+        a.process_row(t, y, z, 0, W);
+        b.process_row_scalar(t, y, z, 0, W);
+      }
+  std::vector<double> ra, rb;
+  a.copy_result_to(ra, T);
+  b.copy_result_to(rb, T);
+  expect_bit_equal(ra, rb, "banded3d simd-vs-scalar");
+}
+
+TEST(FmaKernels, Banded2DUnfusedReferenceWithinUlp) {
+  const int W = 11, H = 8;
+  Banded2D<1> k(W, H);
+  const double bnd = 0.4;
+  k.init(cats::test::init2d, bnd);
+  k.init_bands(cats::test::band_coeff);
+  auto u0 = [&](int x, int y) {
+    if (x < 0 || x >= W || y < 0 || y >= H) return bnd;
+    return cats::test::init2d(x, y);
+  };
+  for (int y = 0; y < H; ++y) k.process_row_scalar(1, y, 0, W);
+  // Band order: 0 = center, then x-1, x+1, y-1, y+1 (out-of-domain band
+  // coefficients are zero, so the boundary terms drop out exactly as in the
+  // kernel). 5 fused terms vs this unfused sum.
+  for (int y = 0; y < H; ++y)
+    for (int x = 0; x < W; ++x) {
+      double e = cats::test::band_coeff(0, x, y) * u0(x, y);
+      e += cats::test::band_coeff(1, x, y) * u0(x - 1, y);
+      e += cats::test::band_coeff(2, x, y) * u0(x + 1, y);
+      e += cats::test::band_coeff(3, x, y) * u0(x, y - 1);
+      e += cats::test::band_coeff(4, x, y) * u0(x, y + 1);
+      expect_close_ulp(k.grid_at(1).at(x, y), e, 8, "banded2d");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Every kernel family, all applicable schemes, bit-exact against its own
+// reference sweep. `make` builds a freshly initialized kernel.
+
+template <class Make>
+void all_schemes_bit_exact(Make make, int T,
+                           std::initializer_list<Scheme> schemes) {
+  auto ref = make();
+  run_reference(ref, T);
+  std::vector<double> want;
+  ref.copy_result_to(want, T);
+  for (Scheme s : schemes) {
+    auto k = make();
+    RunOptions opt;
+    opt.scheme = s;
+    opt.threads = 3;
+    opt.cache_bytes = 24 * 1024;
+    run(k, T, opt);
+    std::vector<double> got;
+    k.copy_result_to(got, T);
+    expect_bit_equal(got, want, scheme_name(s));
+  }
+}
+
+constexpr std::initializer_list<Scheme> k2dSchemes = {
+    Scheme::Naive, Scheme::Cats1, Scheme::Cats2, Scheme::PlutoLike,
+    Scheme::Auto};
+constexpr std::initializer_list<Scheme> k3dSchemes = {
+    Scheme::Naive, Scheme::Cats1, Scheme::Cats2, Scheme::Cats3,
+    Scheme::PlutoLike, Scheme::Auto};
+
+TEST(AllFamilies, Const1D) {
+  all_schemes_bit_exact(
+      [] {
+        typename ConstStar1D<2>::Weights w;
+        w.center = 0.5;
+        for (int i = 0; i < 2; ++i) {
+          w.xm[static_cast<std::size_t>(i)] = 0.12;
+          w.xp[static_cast<std::size_t>(i)] = 0.13;
+        }
+        ConstStar1D<2> k(301, w);
+        k.init([](int x) { return cats::test::init2d(x, 5); }, 0.2);
+        return k;
+      },
+      17, {Scheme::Naive, Scheme::Cats1, Scheme::PlutoLike, Scheme::Auto});
+}
+
+TEST(AllFamilies, Const2D) {
+  all_schemes_bit_exact(
+      [] {
+        ConstStar2D<1> k(33, 27, default_star2d_weights<1>());
+        k.init(cats::test::init2d, 0.25);
+        return k;
+      },
+      8, k2dSchemes);
+}
+
+TEST(AllFamilies, Const2DFloat) {
+  all_schemes_bit_exact(
+      [] {
+        FloatStar2D<1>::Weights w;
+        w.center = 0.5f;
+        w.xm[0] = 0.13f;
+        w.xp[0] = 0.12f;
+        w.ym[0] = 0.14f;
+        w.yp[0] = 0.11f;
+        FloatStar2D<1> k(33, 27, w);
+        k.init(
+            [](int x, int y) {
+              return static_cast<float>(cats::test::init2d(x, y));
+            },
+            0.25f);
+        return k;
+      },
+      8, k2dSchemes);
+}
+
+TEST(AllFamilies, Const3D) {
+  all_schemes_bit_exact(
+      [] {
+        ConstStar3D<1> k(13, 11, 9, default_star3d_weights<1>());
+        k.init(cats::test::init3d, -0.1);
+        return k;
+      },
+      5, k3dSchemes);
+}
+
+TEST(AllFamilies, Banded2D) {
+  all_schemes_bit_exact(
+      [] {
+        Banded2D<1> k(33, 27);
+        k.init(cats::test::init2d, 0.0);
+        k.init_bands(cats::test::band_coeff);
+        return k;
+      },
+      8, k2dSchemes);
+}
+
+TEST(AllFamilies, Banded3D) {
+  all_schemes_bit_exact(
+      [] {
+        Banded3D<1> k(13, 11, 9);
+        k.init(cats::test::init3d, 0.0);
+        k.init_bands(cats::test::band_coeff3);
+        return k;
+      },
+      5, k3dSchemes);
+}
+
+TEST(AllFamilies, Box2D) {
+  all_schemes_bit_exact(
+      [] {
+        Box2D<1> k(33, 27, default_box2d_weights<1>());
+        k.init(cats::test::init2d, 0.1);
+        return k;
+      },
+      8, k2dSchemes);
+}
+
+TEST(AllFamilies, Box3D) {
+  all_schemes_bit_exact(
+      [] {
+        Box3D<1> k(13, 11, 9, default_box3d_weights<1>());
+        k.init(cats::test::init3d, -0.2);
+        return k;
+      },
+      5, k3dSchemes);
+}
+
+TEST(AllFamilies, SumStar3D) {
+  all_schemes_bit_exact(
+      [] {
+        Laplace3D k(13, 11, 9, 0.25, 0.125);
+        k.init(cats::test::init3d, 0.0);
+        return k;
+      },
+      5, k3dSchemes);
+}
+
+TEST(AllFamilies, Fdtd2D) {
+  all_schemes_bit_exact(
+      [] {
+        Fdtd2D k(25, 19);
+        k.init([](int x, int y) {
+          return std::tuple{0.05 * x - 0.02 * y, cats::test::init2d(x, y),
+                            cats::test::init2d(y, x)};
+        });
+        return k;
+      },
+      7, k2dSchemes);
+}

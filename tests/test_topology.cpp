@@ -1,0 +1,220 @@
+// Topology parser vs canned sysfs fixture trees, pin-order policies, and
+// ThreadPool's graceful degradation when pinning cannot be applied.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sysinfo/topology.hpp"
+#include "threads/thread_pool.hpp"
+
+using namespace cats;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Builds a sysfs-shaped tree under a fresh temp directory; removed on
+/// destruction. write("cpu/online", "0-3") creates parents as needed.
+class FixtureTree {
+ public:
+  FixtureTree() {
+    root_ = fs::temp_directory_path() /
+            ("cats_topo_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  ~FixtureTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+  FixtureTree(const FixtureTree&) = delete;
+  FixtureTree& operator=(const FixtureTree&) = delete;
+
+  void write(const std::string& rel, const std::string& contents) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << contents << "\n";
+  }
+
+  std::string path() const { return root_.string(); }
+
+  /// One cpuN with its topology files.
+  void add_cpu(int cpu, int core, int package) {
+    const std::string dir = "cpu/cpu" + std::to_string(cpu) + "/topology/";
+    write(dir + "core_id", std::to_string(core));
+    write(dir + "physical_package_id", std::to_string(package));
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path root_;
+};
+
+void fill_single_socket_4core(FixtureTree& t) {
+  t.write("cpu/online", "0-3");
+  for (int c = 0; c < 4; ++c) t.add_cpu(c, c, 0);
+}
+
+// Dual socket, 2 cores per socket, SMT: Linux's usual enumeration has the
+// first logical CPU of every core first (0-3), then the siblings (4-7).
+void fill_dual_socket_smt(FixtureTree& t) {
+  t.write("cpu/online", "0-7");
+  for (int c = 0; c < 8; ++c) t.add_cpu(c, c % 2, (c / 2) % 2);
+  t.write("node/node0/cpulist", "0-1,4-5");
+  t.write("node/node1/cpulist", "2-3,6-7");
+}
+
+}  // namespace
+
+TEST(ParseCpuList, RangesCommasAndJunk) {
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-3,8,10-11\n"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpu_list("5"), (std::vector<int>{5}));
+  EXPECT_EQ(parse_cpu_list(""), std::vector<int>{});
+  EXPECT_EQ(parse_cpu_list("  2 , 1 "), (std::vector<int>{1, 2}));
+}
+
+TEST(ParseTopology, SingleSocketNoSmt) {
+  FixtureTree t;
+  fill_single_socket_4core(t);
+  const Topology topo = parse_topology(t.path());
+  ASSERT_TRUE(topo.known);
+  EXPECT_EQ(topo.cpus.size(), 4u);
+  EXPECT_EQ(topo.n_cores, 4);
+  EXPECT_EQ(topo.n_packages, 1);
+  EXPECT_EQ(topo.n_nodes, 1);  // no node dirs = one node
+  EXPECT_FALSE(topo.smt);
+  for (const CpuPlace& p : topo.cpus) EXPECT_FALSE(p.smt_sibling);
+}
+
+TEST(ParseTopology, DualSocketSmt) {
+  FixtureTree t;
+  fill_dual_socket_smt(t);
+  const Topology topo = parse_topology(t.path());
+  ASSERT_TRUE(topo.known);
+  EXPECT_EQ(topo.cpus.size(), 8u);
+  EXPECT_EQ(topo.n_cores, 4);
+  EXPECT_EQ(topo.n_packages, 2);
+  EXPECT_EQ(topo.n_nodes, 2);
+  EXPECT_TRUE(topo.smt);
+  // cpus 0-3 hit each (package, core) first; 4-7 revisit them as siblings.
+  for (int c = 0; c < 4; ++c) EXPECT_FALSE(topo.cpus[c].smt_sibling) << c;
+  for (int c = 4; c < 8; ++c) EXPECT_TRUE(topo.cpus[c].smt_sibling) << c;
+  EXPECT_EQ(topo.cpus[0].node, 0);
+  EXPECT_EQ(topo.cpus[2].node, 1);
+}
+
+TEST(ParseTopology, SmtOffLeavesGaps) {
+  // SMT disabled at boot: only the first logical CPU of each core is online;
+  // sibling ids simply never appear in the online list.
+  FixtureTree t;
+  t.write("cpu/online", "0-1,4-5");
+  t.add_cpu(0, 0, 0);
+  t.add_cpu(1, 1, 0);
+  t.add_cpu(4, 0, 1);
+  t.add_cpu(5, 1, 1);
+  const Topology topo = parse_topology(t.path());
+  ASSERT_TRUE(topo.known);
+  EXPECT_EQ(topo.cpus.size(), 4u);
+  EXPECT_EQ(topo.n_cores, 4);
+  EXPECT_EQ(topo.n_packages, 2);
+  EXPECT_FALSE(topo.smt);
+}
+
+TEST(ParseTopology, MissingTreeIsUnknown) {
+  const Topology topo = parse_topology("/nonexistent/cats/fixture");
+  EXPECT_FALSE(topo.known);
+  EXPECT_TRUE(topo.cpus.empty());
+  EXPECT_TRUE(topo.pin_order(AffinityPolicy::Compact, 4).empty());
+  EXPECT_EQ(topology_string(topo), "unknown");
+}
+
+TEST(PinOrder, NonePolicyPinsNothing) {
+  FixtureTree t;
+  fill_single_socket_4core(t);
+  const Topology topo = parse_topology(t.path());
+  EXPECT_TRUE(topo.pin_order(AffinityPolicy::None, 4).empty());
+}
+
+TEST(PinOrder, CompactFillsCoresBeforeSiblings) {
+  FixtureTree t;
+  fill_dual_socket_smt(t);
+  const Topology topo = parse_topology(t.path());
+  // Compact order: node0's physical cores (cpus 0,1), then node1's (2,3),
+  // and only then the SMT siblings in the same node/core order (4,5,6,7).
+  EXPECT_EQ(topo.pin_order(AffinityPolicy::Compact, 8),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(topo.pin_order(AffinityPolicy::Compact, 3),
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PinOrder, ScatterRoundRobinsNodes) {
+  FixtureTree t;
+  fill_dual_socket_smt(t);
+  const Topology topo = parse_topology(t.path());
+  // Scatter alternates nodes per slot so 2 threads use both memory
+  // controllers; physical cores still come before any SMT sibling.
+  EXPECT_EQ(topo.pin_order(AffinityPolicy::Scatter, 4),
+            (std::vector<int>{0, 2, 1, 3}));
+  EXPECT_EQ(topo.pin_order(AffinityPolicy::Scatter, 2),
+            (std::vector<int>{0, 2}));
+}
+
+TEST(PinOrder, OversubscriptionWrapsAround) {
+  FixtureTree t;
+  fill_single_socket_4core(t);
+  const Topology topo = parse_topology(t.path());
+  const std::vector<int> order = topo.pin_order(AffinityPolicy::Compact, 6);
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[4], order[0]);
+  EXPECT_EQ(order[5], order[1]);
+}
+
+TEST(ThreadPoolPinning, BogusCpusDegradeToUnpinned) {
+  // A topology whose CPU ids do not exist on this machine: every
+  // pthread_setaffinity_np fails, the pool warns once and runs unpinned.
+  Topology fake;
+  fake.known = true;
+  for (int i = 0; i < 2; ++i) {
+    CpuPlace p;
+    p.cpu = 100000 + i;  // > CPU_SETSIZE, guaranteed unpinnable
+    p.core = i;
+    fake.cpus.push_back(p);
+  }
+  fake.n_cores = 2;
+  fake.n_packages = 1;
+
+  ThreadPool pool(2, AffinityPolicy::Compact, &fake);
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits++; });
+  EXPECT_EQ(hits.load(), 2);
+  EXPECT_EQ(pool.pinned_count(), 0);
+}
+
+TEST(ThreadPoolPinning, UnknownTopologyRunsUnpinned) {
+  Topology unknown;  // known == false
+  ThreadPool pool(3, AffinityPolicy::Scatter, &unknown);
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits++; });
+  EXPECT_EQ(hits.load(), 3);
+  EXPECT_EQ(pool.pinned_count(), 0);
+}
+
+TEST(ThreadPoolPinning, SystemTopologyPinsWhenPossible) {
+  // On any Linux machine with a readable /sys this should pin; elsewhere it
+  // must still run every tid. Only the run contract is asserted
+  // unconditionally.
+  ThreadPool pool(2, AffinityPolicy::Compact);
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits++; });
+  EXPECT_EQ(hits.load(), 2);
+  EXPECT_GE(pool.pinned_count(), 0);
+  EXPECT_LE(pool.pinned_count(), 2);
+}

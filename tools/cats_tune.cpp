@@ -111,6 +111,10 @@ std::string fmt_candidate(const tune::Candidate& c) {
   if (c.scheme == Scheme::Cats2) s += " BZ=" + std::to_string(c.bz);
   if (c.scheme == Scheme::Cats3)
     s += " BZ=" + std::to_string(c.bz) + " BX=" + std::to_string(c.bx);
+  if (c.threads > 0) s += " P=" + std::to_string(c.threads);
+  if (c.affinity >= 0)
+    s += std::string(" pin=") +
+         affinity_policy_name(static_cast<AffinityPolicy>(c.affinity));
   return s;
 }
 
