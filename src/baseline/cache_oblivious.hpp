@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "check/oracle.hpp"
 #include "core/stencil.hpp"
 
 namespace cats {
@@ -54,25 +55,36 @@ void trapezoid_walk(std::int64_t t0, std::int64_t t1, std::int64_t p0,
 }  // namespace detail
 
 template <RowKernel1D K>
-void run_cache_oblivious(K& k, int T) {
+void run_cache_oblivious(K& k, int T, check::DepOracle* oracle = nullptr) {
+  const check::ScopedOracleThread oracle_bind(oracle, 0);
   detail::trapezoid_walk(1, T + 1, 0, 0, k.width(), 0, k.slope(),
-                         [&](int t, int x) { k.process_row(t, x, x + 1); });
+                         [&](int t, int x) {
+                           check::note_row(t, 0, 0, x, x + 1);
+                           k.process_row(t, x, x + 1);
+                         });
 }
 
 template <RowKernel2D K>
-void run_cache_oblivious(K& k, int T) {
+void run_cache_oblivious(K& k, int T, check::DepOracle* oracle = nullptr) {
+  const check::ScopedOracleThread oracle_bind(oracle, 0);
   const int W = k.width();
   detail::trapezoid_walk(1, T + 1, 0, 0, k.height(), 0, k.slope(),
-                         [&](int t, int y) { k.process_row(t, y, 0, W); });
+                         [&](int t, int y) {
+                           check::note_row(t, y, 0, 0, W);
+                           k.process_row(t, y, 0, W);
+                         });
 }
 
 template <RowKernel3D K>
-void run_cache_oblivious(K& k, int T) {
+void run_cache_oblivious(K& k, int T, check::DepOracle* oracle = nullptr) {
+  const check::ScopedOracleThread oracle_bind(oracle, 0);
   const int W = k.width(), H = k.height();
   detail::trapezoid_walk(1, T + 1, 0, 0, k.depth(), 0, k.slope(),
                          [&](int t, int z) {
-                           for (int y = 0; y < H; ++y)
+                           for (int y = 0; y < H; ++y) {
+                             check::note_row(t, y, z, 0, W);
                              k.process_row(t, y, z, 0, W);
+                           }
                          });
 }
 

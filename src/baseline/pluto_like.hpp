@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "baseline/pluto_params.hpp"
+#include "check/oracle.hpp"
 #include "core/geometry.hpp"
 #include "core/options.hpp"
 #include "core/stencil.hpp"
@@ -31,7 +32,7 @@ namespace cats {
 /// representation of what rectangular time tiling offers a 1D Jacobi nest.
 template <RowKernel1D K>
 void run_pluto_like(K& k, int T, const RunOptions& opt) {
-  (void)opt;
+  const check::ScopedOracleThread oracle_bind(opt.oracle, 0);
   const PlutoParams prm = pluto_params();
   const int W = k.width(), s = k.slope();
   const int Bt = prm.bt2, Bj = prm.bx2;
@@ -45,8 +46,10 @@ void run_pluto_like(K& k, int T, const RunOptions& opt) {
         const std::int64_t st = static_cast<std::int64_t>(s) * t;
         const std::int64_t x0 = std::max<std::int64_t>(tj * Bj - st, 0);
         const std::int64_t x1 = std::min<std::int64_t>((tj + 1) * Bj - st, W);
-        if (x0 < x1)
+        if (x0 < x1) {
+          check::note_row(t, 0, 0, static_cast<int>(x0), static_cast<int>(x1));
           k.process_row_scalar(t, static_cast<int>(x0), static_cast<int>(x1));
+        }
       }
     }
   }
@@ -62,6 +65,7 @@ void run_pluto_like(K& k, int T, const RunOptions& opt) {
   SpinBarrier bar(P);
 
   pool.run([&](int tid) {
+    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
     for (int tb = 0; tb * Bt < T; ++tb) {
       const int t_lo = tb * Bt + 1;
       const int t_hi = std::min((tb + 1) * Bt, T);
@@ -88,6 +92,8 @@ void run_pluto_like(K& k, int T, const RunOptions& opt) {
             const std::int64_t x1 = std::min<std::int64_t>((tj + 1) * Bj - st, W);
             if (x0 >= x1) continue;
             for (std::int64_t y = y0; y < y1; ++y) {
+              check::note_row(t, static_cast<int>(y), 0, static_cast<int>(x0),
+                              static_cast<int>(x1));
               k.process_row_scalar(t, static_cast<int>(y),
                                    static_cast<int>(x0), static_cast<int>(x1));
             }
@@ -109,6 +115,7 @@ void run_pluto_like(K& k, int T, const RunOptions& opt) {
   SpinBarrier bar(P);
 
   pool.run([&](int tid) {
+    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
     for (int tb = 0; tb * Bt < T; ++tb) {
       const int t_lo = tb * Bt + 1;
       const int t_hi = std::min((tb + 1) * Bt, T);
@@ -137,9 +144,12 @@ void run_pluto_like(K& k, int T, const RunOptions& opt) {
               const std::int64_t x1 = std::min<std::int64_t>((tj + 1) * Bj - st, W);
               if (x0 >= x1) continue;
               for (std::int64_t z = z0; z < z1; ++z)
-                for (std::int64_t y = y0; y < y1; ++y)
+                for (std::int64_t y = y0; y < y1; ++y) {
+                  check::note_row(t, static_cast<int>(y), static_cast<int>(z),
+                                  static_cast<int>(x0), static_cast<int>(x1));
                   k.process_row_scalar(t, static_cast<int>(y), static_cast<int>(z),
                                        static_cast<int>(x0), static_cast<int>(x1));
+                }
             }
           }
         }

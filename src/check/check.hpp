@@ -1,0 +1,54 @@
+#pragma once
+// CATS_CHECK — the debug/validation assertion layer.
+//
+// A drop-in replacement for bare `assert` that prints a formatted message
+// (typically the offending coordinates) before aborting, so a failed grid
+// bounds check or oracle precondition is diagnosable from the log of a CI
+// run. Checks are active when NDEBUG is not defined (Debug builds) OR when
+// CATS_VALIDATE is defined (cmake -DCATS_VALIDATE=ON), so a Release
+// validation build keeps full-speed codegen everywhere except the guarded
+// conditions themselves. In plain Release builds the macro compiles to
+// nothing.
+//
+//   CATS_CHECK(x >= -g && x < w + g, "Grid2D x=%d out of [%d, %d)", x, -g, w + g);
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cats::check {
+
+/// Print "CATS_CHECK failed" with location, condition and formatted detail,
+/// then abort. Out-of-line formatting keeps the macro's inlined footprint to
+/// one compare-and-branch per check site.
+[[noreturn]] inline void fail(const char* file, int line, const char* cond,
+                              const char* fmt, ...) {
+  std::fprintf(stderr, "CATS_CHECK failed: %s\n  at %s:%d\n  ", cond, file,
+               line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cats::check
+
+#if !defined(NDEBUG) || defined(CATS_VALIDATE)
+#define CATS_CHECKS_ENABLED 1
+#else
+#define CATS_CHECKS_ENABLED 0
+#endif
+
+#if CATS_CHECKS_ENABLED
+#define CATS_CHECK(cond, ...)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::cats::check::fail(__FILE__, __LINE__, #cond, __VA_ARGS__);    \
+    }                                                                 \
+  } while (0)
+#else
+#define CATS_CHECK(cond, ...) ((void)0)
+#endif

@@ -1,0 +1,71 @@
+#pragma once
+// Schedule probe kernels: no-op RowKernels for driving a scheme through the
+// dependence oracle without any arithmetic. The schemes report every row
+// they would compute via check::note_row, so a probe run validates the
+// *schedule* (visit order, tile hand-offs, barriers) at full precision while
+// the kernel body does nothing. Used by tools/cats_validate and the oracle
+// tests; also handy for quickly checking a new scheme variant.
+
+#include <vector>
+
+#include "core/stencil.hpp"
+
+namespace cats::check {
+
+class ProbeKernel1D {
+ public:
+  ProbeKernel1D(int w, int slope) : w_(w), s_(slope) {}
+  int width() const { return w_; }
+  int slope() const { return s_; }
+  double flops_per_point() const { return 1.0; }
+  double state_doubles_per_point() const { return 1.0; }
+  double extra_cache_doubles_per_point() const { return 0.0; }
+  void copy_result_to(std::vector<double>& out, int) const { out.clear(); }
+  void process_row(int, int, int) {}
+  void process_row_scalar(int, int, int) {}
+
+ private:
+  int w_, s_;
+};
+
+class ProbeKernel2D {
+ public:
+  ProbeKernel2D(int w, int h, int slope) : w_(w), h_(h), s_(slope) {}
+  int width() const { return w_; }
+  int height() const { return h_; }
+  int slope() const { return s_; }
+  double flops_per_point() const { return 1.0; }
+  double state_doubles_per_point() const { return 1.0; }
+  double extra_cache_doubles_per_point() const { return 0.0; }
+  void copy_result_to(std::vector<double>& out, int) const { out.clear(); }
+  void process_row(int, int, int, int) {}
+  void process_row_scalar(int, int, int, int) {}
+
+ private:
+  int w_, h_, s_;
+};
+
+class ProbeKernel3D {
+ public:
+  ProbeKernel3D(int w, int h, int d, int slope)
+      : w_(w), h_(h), d_(d), s_(slope) {}
+  int width() const { return w_; }
+  int height() const { return h_; }
+  int depth() const { return d_; }
+  int slope() const { return s_; }
+  double flops_per_point() const { return 1.0; }
+  double state_doubles_per_point() const { return 1.0; }
+  double extra_cache_doubles_per_point() const { return 0.0; }
+  void copy_result_to(std::vector<double>& out, int) const { out.clear(); }
+  void process_row(int, int, int, int, int) {}
+  void process_row_scalar(int, int, int, int, int) {}
+
+ private:
+  int w_, h_, d_, s_;
+};
+
+static_assert(RowKernel1D<ProbeKernel1D>);
+static_assert(RowKernel2D<ProbeKernel2D>);
+static_assert(RowKernel3D<ProbeKernel3D>);
+
+}  // namespace cats::check

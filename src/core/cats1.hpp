@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/oracle.hpp"
 #include "core/geometry.hpp"
 #include "core/options.hpp"
 #include "core/stats.hpp"
@@ -48,6 +49,7 @@ void cats1_sweep(std::int64_t extent, int slope, int T, int tz_param,
   std::vector<ProgressCell> progress(static_cast<std::size_t>(P));
 
   pool.run([&](int tid) {
+    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
     std::int64_t local_spins = 0, local_events = 0, local_ns = 0,
                  local_tiles = 0, local_barriers = 0;
     for (int t0 = 1; t0 <= T; t0 += tz_cap) {
@@ -104,8 +106,10 @@ void cats1_sweep(std::int64_t extent, int slope, int T, int tz_param,
 
 template <RowKernel1D K>
 void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
-  detail::cats1_sweep(k.width(), k.slope(), T, tz, opt,
-                      [&](int t, int x, bool) { k.process_row(t, x, x + 1); });
+  detail::cats1_sweep(k.width(), k.slope(), T, tz, opt, [&](int t, int x, bool) {
+    check::note_row(t, 0, 0, x, x + 1);
+    k.process_row(t, x, x + 1);
+  });
 }
 
 template <RowKernel2D K>
@@ -119,6 +123,7 @@ void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
                         if constexpr (kernel_has_prefetch_front<K>) {
                           if (front) k.prefetch_front(t, y + 1);
                         }
+                        check::note_row(t, y, 0, 0, W);
                         k.process_row(t, y, 0, W);
                       });
 }
@@ -131,8 +136,10 @@ void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
                         if constexpr (kernel_has_prefetch_front<K>) {
                           if (front) k.prefetch_front(t, z + 1);
                         }
-                        for (int y = 0; y < H; ++y)
+                        for (int y = 0; y < H; ++y) {
+                          check::note_row(t, y, z, 0, W);
                           k.process_row(t, y, z, 0, W);
+                        }
                       });
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/oracle.hpp"
 #include "core/geometry.hpp"
 #include "core/options.hpp"
 #include "core/stats.hpp"
@@ -50,6 +51,7 @@ void cats2_sweep(const DiamondTiling& dt, const RunOptions& opt,
   const int P = std::max(1, threads);
   ThreadPool pool(P, opt.affinity);
   pool.run([&](int tid) {
+    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
     std::int64_t local_spins = 0, local_events = 0, local_ns = 0,
                  local_tiles = 0;
     for (std::int64_t r = rr.lo; r <= rr.hi; ++r) {
@@ -123,6 +125,9 @@ void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
               if (t == ts.lo) k.prefetch_front(static_cast<int>(t),
                                                static_cast<int>(w - s * t + 1));
             }
+            check::note_row(static_cast<int>(t), static_cast<int>(w - s * t),
+                            0, static_cast<int>(px.lo),
+                            static_cast<int>(px.hi + 1));
             k.process_row(static_cast<int>(t), static_cast<int>(w - s * t),
                           static_cast<int>(px.lo), static_cast<int>(px.hi + 1));
           }
@@ -154,6 +159,8 @@ void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
               if (t == ts.lo) k.prefetch_front(static_cast<int>(t), z + 1);
             }
             for (std::int64_t y = py.lo; y <= py.hi; ++y) {
+              check::note_row(static_cast<int>(t), static_cast<int>(y), z, 0,
+                              W);
               k.process_row(static_cast<int>(t), static_cast<int>(y), z, 0, W);
             }
           }

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "check/oracle.hpp"
 #include "core/cats2.hpp"
 #include "core/geometry.hpp"
 #include "core/options.hpp"
@@ -60,6 +61,8 @@ void run_cats3(K& k, int T, const RunOptions& opt, std::int64_t bz,
               const Range py = d.p_range(i, j, t);
               const int z = static_cast<int>(w - st);
               for (std::int64_t y = py.lo; y <= py.hi; ++y) {
+                check::note_row(static_cast<int>(t), static_cast<int>(y), z,
+                                static_cast<int>(x0), static_cast<int>(x1));
                 k.process_row(static_cast<int>(t), static_cast<int>(y), z,
                               static_cast<int>(x0), static_cast<int>(x1));
               }

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "check/oracle.hpp"
 #include "core/stencil.hpp"
 #include "core/options.hpp"
 #include "threads/barrier.hpp"
@@ -20,9 +21,11 @@ void run_naive(K& k, int T, const RunOptions& opt) {
   ThreadPool pool(P, opt.affinity);
   SpinBarrier bar(P);
   pool.run([&](int tid) {
+    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
     const int x0 = static_cast<int>(static_cast<std::int64_t>(W) * tid / P);
     const int x1 = static_cast<int>(static_cast<std::int64_t>(W) * (tid + 1) / P);
     for (int t = 1; t <= T; ++t) {
+      check::note_row(t, 0, 0, x0, x1);
       k.process_row(t, x0, x1);
       bar.arrive_and_wait();
     }
@@ -36,10 +39,14 @@ void run_naive(K& k, int T, const RunOptions& opt) {
   ThreadPool pool(P, opt.affinity);
   SpinBarrier bar(P);
   pool.run([&](int tid) {
+    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
     const int y0 = static_cast<int>(static_cast<std::int64_t>(H) * tid / P);
     const int y1 = static_cast<int>(static_cast<std::int64_t>(H) * (tid + 1) / P);
     for (int t = 1; t <= T; ++t) {
-      for (int y = y0; y < y1; ++y) k.process_row(t, y, 0, W);
+      for (int y = y0; y < y1; ++y) {
+        check::note_row(t, y, 0, 0, W);
+        k.process_row(t, y, 0, W);
+      }
       bar.arrive_and_wait();
     }
   });
@@ -52,11 +59,15 @@ void run_naive(K& k, int T, const RunOptions& opt) {
   ThreadPool pool(P, opt.affinity);
   SpinBarrier bar(P);
   pool.run([&](int tid) {
+    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
     const int z0 = static_cast<int>(static_cast<std::int64_t>(D) * tid / P);
     const int z1 = static_cast<int>(static_cast<std::int64_t>(D) * (tid + 1) / P);
     for (int t = 1; t <= T; ++t) {
       for (int z = z0; z < z1; ++z)
-        for (int y = 0; y < H; ++y) k.process_row(t, y, z, 0, W);
+        for (int y = 0; y < H; ++y) {
+          check::note_row(t, y, z, 0, W);
+          k.process_row(t, y, z, 0, W);
+        }
       bar.arrive_and_wait();
     }
   });

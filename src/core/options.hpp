@@ -15,6 +15,10 @@ namespace cats {
 
 struct RunStats;  // core/stats.hpp
 
+namespace check {
+class DepOracle;  // check/oracle.hpp
+}  // namespace check
+
 enum class Scheme {
   Auto,      ///< general CATS: pick CATS1/CATS2/CATS3 by Eq. 1/2 + rule of thumb
   Naive,     ///< Alg. 1: sweep the whole domain once per timestep
@@ -69,6 +73,19 @@ struct RunOptions {
   /// nodes (maximum aggregate bandwidth). Degrades to None, with a one-time
   /// warning, where sysfs topology or sched_setaffinity is unavailable.
   AffinityPolicy affinity = AffinityPolicy::None;
+
+  /// Dependence-oracle validation (src/check): attach an oracle and every
+  /// scheme reports each computed row plus every ProgressCell/DoneFlag/
+  /// barrier crossing to it, so the full slope-s dependence rule — including
+  /// cross-thread ordering through *recorded* happens-before edges — is
+  /// checked per point. Inspect the oracle afterwards for violations.
+  check::DepOracle* oracle = nullptr;
+
+  /// Convenience validation mode: run() builds a temporary oracle sized to
+  /// the kernel, validates the whole run (including completeness), and on
+  /// any violation prints the diagnostics to stderr and aborts. Also forced
+  /// for every run() by setting the CATS_VALIDATE environment variable.
+  bool validate = false;
 
   /// Empirical-tuning policy; Off keeps selection purely analytic.
   Tuning tuning = Tuning::Off;

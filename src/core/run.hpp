@@ -9,7 +9,11 @@
 // timesteps the selector switches to CATS2 with the Eq. 2 diamond width.
 // The returned SchemeChoice reports what actually ran.
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "baseline/pluto_like.hpp"
+#include "check/oracle.hpp"
 #include "core/cats1.hpp"
 #include "core/cats2.hpp"
 #include "core/cats3.hpp"
@@ -51,10 +55,52 @@ SchemeChoice plan(const K& k, int T, const RunOptions& opt) {
   return select_scheme(d, costs, opt, T);
 }
 
+namespace detail {
+
+struct OracleDims {
+  int w = 1, h = 1, d = 1;
+};
+
+template <class K>
+OracleDims oracle_dims(const K& k) {
+  if constexpr (RowKernel3D<K>) {
+    return {k.width(), k.height(), k.depth()};
+  } else if constexpr (RowKernel2D<K>) {
+    return {k.width(), k.height(), 1};
+  } else {
+    return {k.width(), 1, 1};
+  }
+}
+
+}  // namespace detail
+
 /// Apply the kernel's stencil T times with the selected scheme.
 template <class K>
   requires RowKernel1D<K> || RowKernel2D<K> || RowKernel3D<K>
 SchemeChoice run(K& k, int T, const RunOptions& opt) {
+  // Validation mode (opt.validate or CATS_VALIDATE in the environment):
+  // attach a temporary dependence oracle for this run, then require a clean
+  // report — any violated dependence prints its precise diagnostic and
+  // aborts, so a schedule regression fails fast in any build type.
+  if (T > 0 && opt.oracle == nullptr &&
+      (opt.validate || check::validate_env_enabled())) {
+    const detail::OracleDims dims = detail::oracle_dims(k);
+    check::DepOracle oracle(dims.w, dims.h, dims.d, k.slope(), opt.threads);
+    RunOptions vopt = opt;
+    vopt.oracle = &oracle;
+    vopt.validate = false;
+    const SchemeChoice choice = run(k, T, vopt);
+    oracle.check_complete(T);
+    if (!oracle.ok()) {
+      oracle.print_report(stderr);
+      std::fprintf(stderr,
+                   "cats: dependence-oracle validation failed (%lld "
+                   "violations), aborting\n",
+                   static_cast<long long>(oracle.violation_count()));
+      std::abort();
+    }
+    return choice;
+  }
   // Gauss-Seidel-style kernels (same-timestep spatial reads) admit no
   // split-tiling parallelism: force the serial CATS1 wavefront (which still
   // provides the full temporal-locality benefit) or the serial naive sweep.

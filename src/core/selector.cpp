@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "bench_harness/machine.hpp"
+#include "check/check.hpp"
 #include "sysinfo/cache_info.hpp"
 #include "tune/db.hpp"
 
@@ -24,6 +25,11 @@ double raw_bz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& 
 }  // namespace
 
 int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& k) {
+  CATS_CHECK(k.slope >= 1, "stencil slope must be >= 1, got %d", k.slope);
+  CATS_CHECK(k.cs_eff > 0.0, "effective cache slices CS must be > 0, got %g",
+             k.cs_eff);
+  CATS_CHECK(d.n > 0, "domain must be non-empty, got n=%lld",
+             static_cast<long long>(d.n));
   const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
   const double tz = zd * static_cast<double>(d.wmax) /
                     (k.cs_eff * static_cast<double>(d.n));
@@ -33,11 +39,19 @@ int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts&
 
 std::int64_t compute_bz(std::size_t cache_bytes, const DomainShape& d,
                         const KernelCosts& k) {
+  CATS_CHECK(k.slope >= 1, "stencil slope must be >= 1, got %d", k.slope);
+  CATS_CHECK(k.cs_eff > 0.0, "effective cache slices CS must be > 0, got %g",
+             k.cs_eff);
+  CATS_CHECK(d.n > 0, "domain must be non-empty, got n=%lld",
+             static_cast<long long>(d.n));
   const auto bz = static_cast<std::int64_t>(raw_bz(cache_bytes, d, k));
   return std::max<std::int64_t>(bz, 2ll * k.slope);
 }
 
 std::int64_t compute_bz3(std::size_t cache_bytes, const KernelCosts& k) {
+  CATS_CHECK(k.slope >= 1, "stencil slope must be >= 1, got %d", k.slope);
+  CATS_CHECK(k.cs_eff > 0.0, "effective cache slices CS must be > 0, got %g",
+             k.cs_eff);
   const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
   const double bz3 = 2.0 * k.slope * zd / k.cs_eff;
   const auto bz = static_cast<std::int64_t>(std::cbrt(std::max(bz3, 0.0)));

@@ -11,6 +11,8 @@
 #include <memory>
 #include <new>
 
+#include "check/check.hpp"
+
 namespace cats {
 
 inline constexpr std::size_t kAlign = 64;
@@ -53,8 +55,16 @@ class AlignedBuffer {
   const T* data() const noexcept { return data_.get(); }
   std::size_t size() const noexcept { return size_; }
 
-  T& operator[](std::size_t i) noexcept { return data_.get()[i]; }
-  const T& operator[](std::size_t i) const noexcept { return data_.get()[i]; }
+  T& operator[](std::size_t i) noexcept {
+    CATS_CHECK(i < size_, "AlignedBuffer index %zu out of bounds (size %zu)",
+               i, size_);
+    return data_.get()[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    CATS_CHECK(i < size_, "AlignedBuffer index %zu out of bounds (size %zu)",
+               i, size_);
+    return data_.get()[i];
+  }
 
   T* begin() noexcept { return data(); }
   T* end() noexcept { return data() + size_; }

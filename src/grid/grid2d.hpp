@@ -8,9 +8,9 @@
 // are 64-byte aligned.
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
 
+#include "check/check.hpp"
 #include "grid/aligned_buffer.hpp"
 
 namespace cats {
@@ -29,7 +29,9 @@ class Grid2D {
   /// fill — e.g. a kernel's parallel_init — decides NUMA page placement.
   Grid2D(int width, int height, int ghost, DeferFirstTouch)
       : w_(width), h_(height), g_(ghost) {
-    assert(width > 0 && height > 0 && ghost >= 0);
+    CATS_CHECK(width > 0 && height > 0 && ghost >= 0,
+               "Grid2D dims must be positive with ghost >= 0, got %dx%d g=%d",
+               width, height, ghost);
     const std::size_t elems_per_line = kAlign / sizeof(T);
     // Pad each row so (x=0, y) is 64-byte aligned: the row starts `ghost`
     // elements after an aligned boundary, so pre-pad the ghost up to a full
@@ -46,8 +48,16 @@ class Grid2D {
   std::size_t size() const noexcept { return buf_.size(); }
 
   /// Linear index of interior point (x, y); valid for
-  /// x in [-ghost, width+ghost), y in [-ghost, height+ghost).
+  /// x in [-ghost, width+ghost), y in [-ghost, height+ghost). Bounds are
+  /// enforced (with a coordinate diagnostic) in Debug and CATS_VALIDATE
+  /// builds; Release indexing stays branch-free.
   std::size_t index(int x, int y) const noexcept {
+    CATS_CHECK(x >= -g_ && x < w_ + g_,
+               "Grid2D x=%d out of [%d, %d) at (x=%d, y=%d)", x, -g_, w_ + g_,
+               x, y);
+    CATS_CHECK(y >= -g_ && y < h_ + g_,
+               "Grid2D y=%d out of [%d, %d) at (x=%d, y=%d)", y, -g_, h_ + g_,
+               x, y);
     return (static_cast<std::size_t>(y + g_)) * pitch_ + lead_ +
            static_cast<std::size_t>(x);
   }
@@ -70,7 +80,9 @@ class Grid2D {
   /// height+ghost]. This is the unit of parallel first-touch: a thread
   /// filling its slab of rows places those pages on its NUMA node.
   void fill_rows(int y0, int y1, T v) {
-    assert(y0 >= -g_ && y1 <= h_ + g_ && y0 <= y1);
+    CATS_CHECK(y0 >= -g_ && y1 <= h_ + g_ && y0 <= y1,
+               "Grid2D fill_rows [%d, %d) outside [%d, %d]", y0, y1, -g_,
+               h_ + g_);
     std::fill(buf_.data() + static_cast<std::size_t>(y0 + g_) * pitch_,
               buf_.data() + static_cast<std::size_t>(y1 + g_) * pitch_, v);
   }

@@ -3,9 +3,9 @@
 // Interior coordinates (x, y, z) in [0,W) x [0,H) x [0,D); x is unit stride.
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
 
+#include "check/check.hpp"
 #include "grid/aligned_buffer.hpp"
 
 namespace cats {
@@ -24,7 +24,10 @@ class Grid3D {
   /// fill — e.g. a kernel's parallel_init — decides NUMA page placement.
   Grid3D(int width, int height, int depth, int ghost, DeferFirstTouch)
       : w_(width), h_(height), d_(depth), g_(ghost) {
-    assert(width > 0 && height > 0 && depth > 0 && ghost >= 0);
+    CATS_CHECK(width > 0 && height > 0 && depth > 0 && ghost >= 0,
+               "Grid3D dims must be positive with ghost >= 0, got %dx%dx%d "
+               "g=%d",
+               width, height, depth, ghost);
     const std::size_t elems_per_line = kAlign / sizeof(T);
     lead_ = round_up(static_cast<std::size_t>(g_), elems_per_line);
     pitch_ = lead_ + round_up(static_cast<std::size_t>(w_) + g_, elems_per_line);
@@ -40,7 +43,18 @@ class Grid3D {
   std::size_t slice() const noexcept { return slice_; }
   std::size_t size() const noexcept { return buf_.size(); }
 
+  /// Bounds enforced (with a coordinate diagnostic) in Debug and
+  /// CATS_VALIDATE builds; Release indexing stays branch-free.
   std::size_t index(int x, int y, int z) const noexcept {
+    CATS_CHECK(x >= -g_ && x < w_ + g_,
+               "Grid3D x=%d out of [%d, %d) at (x=%d, y=%d, z=%d)", x, -g_,
+               w_ + g_, x, y, z);
+    CATS_CHECK(y >= -g_ && y < h_ + g_,
+               "Grid3D y=%d out of [%d, %d) at (x=%d, y=%d, z=%d)", y, -g_,
+               h_ + g_, x, y, z);
+    CATS_CHECK(z >= -g_ && z < d_ + g_,
+               "Grid3D z=%d out of [%d, %d) at (x=%d, y=%d, z=%d)", z, -g_,
+               d_ + g_, x, y, z);
     return static_cast<std::size_t>(z + g_) * slice_ +
            static_cast<std::size_t>(y + g_) * pitch_ + lead_ +
            static_cast<std::size_t>(x);
@@ -61,7 +75,9 @@ class Grid3D {
   /// ghosts and padding — to `v`. Valid for z in [-ghost, depth+ghost]. The
   /// unit of parallel first-touch (see Grid2D::fill_rows).
   void fill_slabs(int z0, int z1, T v) {
-    assert(z0 >= -g_ && z1 <= d_ + g_ && z0 <= z1);
+    CATS_CHECK(z0 >= -g_ && z1 <= d_ + g_ && z0 <= z1,
+               "Grid3D fill_slabs [%d, %d) outside [%d, %d]", z0, z1, -g_,
+               d_ + g_);
     std::fill(buf_.data() + static_cast<std::size_t>(z0 + g_) * slice_,
               buf_.data() + static_cast<std::size_t>(z1 + g_) * slice_, v);
   }

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "threads/cpu_pause.hpp"
+#include "threads/sync_observer.hpp"
 
 namespace cats {
 
@@ -22,10 +23,15 @@ class SpinBarrier {
   SpinBarrier& operator=(const SpinBarrier&) = delete;
 
   void arrive_and_wait() {
+    // Validation: a barrier is an all-to-all edge — every participant's
+    // arrival happens-before every participant's departure.
+    SyncObserver* const obs = sync_observer();
+    if (obs) obs->on_barrier_arrive(this);
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
       count_.store(0, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
+      if (obs) obs->on_barrier_leave(this);
       return;
     }
     int spins = 0, exponent = 0;
@@ -36,6 +42,7 @@ class SpinBarrier {
         backoff_pause(exponent);
       }
     }
+    if (obs) obs->on_barrier_leave(this);
   }
 
  private:

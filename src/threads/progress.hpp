@@ -12,6 +12,13 @@
 // slow path measures its own wall-clock cost so RunStats can report wait
 // *time*, not just an iteration count. The fast path (condition already
 // satisfied) touches no clock.
+//
+// Validation: every release (publish/set) and every satisfied wait reports a
+// happens-before edge through the thread-local SyncObserver so the
+// dependence oracle (src/check) can reconstruct the ordering the schedule
+// actually established. The release hook fires before the releasing store;
+// the acquire hook fires after the wait condition holds — including the
+// fast path, where the edge is just as real.
 
 #include <atomic>
 #include <chrono>
@@ -19,6 +26,7 @@
 #include <thread>
 
 #include "threads/cpu_pause.hpp"
+#include "threads/sync_observer.hpp"
 
 namespace cats {
 
@@ -62,15 +70,20 @@ struct alignas(64) ProgressCell {
 
   void reset() { value.store(INT64_MIN, std::memory_order_relaxed); }
 
-  void publish(std::int64_t v) { value.store(v, std::memory_order_release); }
+  void publish(std::int64_t v) {
+    if (SyncObserver* o = sync_observer()) o->on_release(this, v);
+    value.store(v, std::memory_order_release);
+  }
 
   std::int64_t load() const { return value.load(std::memory_order_acquire); }
 
   /// Blocks until the published value reaches `bound`.
   WaitResult wait_ge(std::int64_t bound) const {
-    return detail::adaptive_wait(
+    const WaitResult r = detail::adaptive_wait(
         [&] { return value.load(std::memory_order_acquire) >= bound; },
         kSpinLimit);
+    if (SyncObserver* o = sync_observer()) o->on_acquire(this, bound);
+    return r;
   }
 
   static constexpr int kSpinLimit = 1024;
@@ -80,13 +93,18 @@ struct alignas(64) ProgressCell {
 struct DoneFlag {
   std::atomic<uint8_t> done{0};
 
-  void set() { done.store(1, std::memory_order_release); }
+  void set() {
+    if (SyncObserver* o = sync_observer()) o->on_release(this, 1);
+    done.store(1, std::memory_order_release);
+  }
   bool test() const { return done.load(std::memory_order_acquire) != 0; }
 
   /// Blocks until set.
   WaitResult wait() const {
-    return detail::adaptive_wait([&] { return test(); },
-                                 ProgressCell::kSpinLimit);
+    const WaitResult r = detail::adaptive_wait([&] { return test(); },
+                                               ProgressCell::kSpinLimit);
+    if (SyncObserver* o = sync_observer()) o->on_acquire(this, 1);
+    return r;
   }
 };
 

@@ -1,0 +1,82 @@
+// CATS_CHECK macro + bounds-checked grid accessors (src/check/check.hpp).
+//
+// The death tests only exist where checks are compiled in (Debug or
+// -DCATS_VALIDATE=ON); in plain Release the macro must compile to nothing,
+// which the NoOpInRelease test pins down.
+
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "grid/aligned_buffer.hpp"
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+
+using namespace cats;
+
+TEST(CatsCheck, PassingConditionIsSilent) {
+  CATS_CHECK(1 + 1 == 2, "never printed %d", 0);
+  SUCCEED();
+}
+
+#if CATS_CHECKS_ENABLED
+
+TEST(CatsCheckDeathTest, FailureReportsCondition) {
+  EXPECT_DEATH(CATS_CHECK(2 < 1, "x=%d out of [%d, %d)", 7, 0, 4),
+               "CATS_CHECK failed: 2 < 1");
+}
+
+TEST(CatsCheckDeathTest, FailureReportsFormattedDetail) {
+  EXPECT_DEATH(CATS_CHECK(2 < 1, "x=%d out of [%d, %d)", 7, 0, 4),
+               "x=7 out of \\[0, 4\\)");
+}
+
+TEST(CatsCheckDeathTest, Grid2DIndexOutOfBoundsPrintsCoordinates) {
+  Grid2D<double> g(8, 6, 1);
+  EXPECT_DEATH((void)g.at(9, 0), "Grid2D x=9 out of \\[-1, 9\\)");
+  EXPECT_DEATH((void)g.at(0, -2), "Grid2D y=-2 out of \\[-1, 7\\)");
+}
+
+TEST(CatsCheckDeathTest, Grid3DIndexOutOfBoundsPrintsCoordinates) {
+  Grid3D<double> g(4, 4, 4, 1);
+  EXPECT_DEATH((void)g.at(0, 0, 5), "Grid3D z=5 out of \\[-1, 5\\)");
+}
+
+TEST(CatsCheckDeathTest, GridConstructorRejectsBadDims) {
+  EXPECT_DEATH(Grid2D<double>(0, 4, 1), "Grid2D dims");
+  EXPECT_DEATH(Grid3D<double>(4, 4, -1, 1), "Grid3D dims");
+}
+
+TEST(CatsCheckDeathTest, FillRangesAreChecked) {
+  Grid2D<double> g2(8, 6, 1);
+  EXPECT_DEATH(g2.fill_rows(0, 8, 0.0), "Grid2D fill_rows");
+  Grid3D<double> g3(4, 4, 4, 1);
+  EXPECT_DEATH(g3.fill_slabs(-2, 2, 0.0), "Grid3D fill_slabs");
+}
+
+TEST(CatsCheckDeathTest, AlignedBufferIndexIsChecked) {
+  AlignedBuffer<int> b(4);
+  EXPECT_DEATH((void)b[4], "AlignedBuffer index 4 out of bounds \\(size 4\\)");
+}
+
+#else  // !CATS_CHECKS_ENABLED
+
+TEST(CatsCheck, NoOpInRelease) {
+  // Must not evaluate cost, not abort, and compile with arbitrary condition.
+  Grid2D<double> g(8, 6, 1);
+  CATS_CHECK(false, "disabled check must not fire");
+  (void)g.index(100, 100);  // unchecked in Release: just an address
+  SUCCEED();
+}
+
+#endif
+
+TEST(CatsCheck, InBoundsAccessorsWork) {
+  Grid2D<double> g(8, 6, 2);
+  g.at(-2, -2) = 1.5;
+  g.at(9, 7) = 2.5;
+  EXPECT_EQ(g.at(-2, -2), 1.5);
+  EXPECT_EQ(g.at(9, 7), 2.5);
+  Grid3D<float> h(4, 5, 6, 1);
+  h.at(-1, 5, 6) = 3.0f;
+  EXPECT_EQ(h.at(-1, 5, 6), 3.0f);
+}

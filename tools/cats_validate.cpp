@@ -1,0 +1,195 @@
+// cats_validate: drive every scheme over tiny 1D/2D/3D probe configurations
+// with the dependence oracle attached and fail (exit 1) on any violated
+// dependence. This is the CI schedule-correctness smoke: it validates the
+// *schedules* (visit order, tile hand-offs, publish/wait edges, barriers) at
+// full per-point precision using no-op kernels, so it runs in milliseconds.
+//
+// Usage: cats_validate [threads...]   (default: 1 4)
+//        cats_validate --env-smoke    (real kernels, CATS_VALIDATE env path:
+//                                      run() attaches the oracle itself and
+//                                      aborts on any violation)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baseline/cache_oblivious.hpp"
+#include "check/oracle.hpp"
+#include "check/probe_kernel.hpp"
+#include "core/run.hpp"
+#include "kernels/const1d.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const3d.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void report(const char* label, int threads, cats::check::DepOracle& oracle,
+            int T) {
+  oracle.check_complete(T);
+  if (oracle.ok()) {
+    std::printf("ok   %-28s p=%d  points=%lld edges=%zu\n", label, threads,
+                static_cast<long long>(oracle.points_checked()),
+                oracle.edges().size());
+    return;
+  }
+  ++g_failures;
+  std::printf("FAIL %-28s p=%d  %lld violations\n", label, threads,
+              static_cast<long long>(oracle.violation_count()));
+  oracle.print_report(stdout);
+}
+
+cats::RunOptions base_options(int threads, cats::Scheme scheme,
+                              cats::check::DepOracle* oracle) {
+  cats::RunOptions opt;
+  opt.threads = threads;
+  opt.scheme = scheme;
+  opt.cache_bytes = 32 * 1024;  // deterministic selection, tiny tiles
+  opt.oracle = oracle;
+  // Small tiles so even these tiny domains split into several tiles and the
+  // cross-tile hand-offs actually run.
+  opt.tz_override = 4;
+  opt.bz_override = 8;
+  opt.bx_override = 8;
+  return opt;
+}
+
+void validate_1d(cats::Scheme scheme, const char* label, int threads, int T) {
+  cats::check::ProbeKernel1D k(64, 1);
+  cats::check::DepOracle oracle(k.width(), 1, 1, k.slope(), threads);
+  cats::run(k, T, base_options(threads, scheme, &oracle));
+  report(label, threads, oracle, T);
+}
+
+void validate_2d(cats::Scheme scheme, const char* label, int threads, int T) {
+  cats::check::ProbeKernel2D k(32, 48, 1);
+  cats::check::DepOracle oracle(k.width(), k.height(), 1, k.slope(), threads);
+  cats::run(k, T, base_options(threads, scheme, &oracle));
+  report(label, threads, oracle, T);
+}
+
+void validate_3d(cats::Scheme scheme, const char* label, int threads, int T) {
+  cats::check::ProbeKernel3D k(16, 24, 24, 1);
+  cats::check::DepOracle oracle(k.width(), k.height(), k.depth(), k.slope(),
+                                threads);
+  cats::run(k, T, base_options(threads, scheme, &oracle));
+  report(label, threads, oracle, T);
+}
+
+void validate_cache_oblivious(int T) {
+  {
+    cats::check::ProbeKernel1D k(64, 1);
+    cats::check::DepOracle oracle(k.width(), 1, 1, k.slope(), 1);
+    cats::run_cache_oblivious(k, T, &oracle);
+    report("cache-oblivious 1D", 1, oracle, T);
+  }
+  {
+    cats::check::ProbeKernel2D k(32, 48, 1);
+    cats::check::DepOracle oracle(k.width(), k.height(), 1, k.slope(), 1);
+    cats::run_cache_oblivious(k, T, &oracle);
+    report("cache-oblivious 2D", 1, oracle, T);
+  }
+  {
+    cats::check::ProbeKernel3D k(16, 24, 24, 1);
+    cats::check::DepOracle oracle(k.width(), k.height(), k.depth(), k.slope(),
+                                  1);
+    cats::run_cache_oblivious(k, T, &oracle);
+    report("cache-oblivious 3D", 1, oracle, T);
+  }
+}
+
+// Real Jacobi kernels through the CATS_VALIDATE environment path: run()
+// attaches its own oracle and aborts with a report on any violation, so
+// merely returning from these runs is the pass criterion.
+int env_smoke() {
+  if (!cats::check::validate_env_enabled()) {
+    std::fprintf(stderr,
+                 "cats_validate --env-smoke requires CATS_VALIDATE=1 in the "
+                 "environment\n");
+    return 2;
+  }
+  const int T = 8;
+  cats::RunOptions opt;
+  opt.threads = 4;
+  opt.cache_bytes = 32 * 1024;
+  {
+    cats::ConstStar1D<1>::Weights w;
+    w.center = 0.5;
+    w.xm[0] = w.xp[0] = 0.25;
+    cats::ConstStar1D<1> k(96, w);
+    k.init([](int x) { return 0.001 * x; });
+    for (cats::Scheme s :
+         {cats::Scheme::Naive, cats::Scheme::Cats1, cats::Scheme::PlutoLike}) {
+      opt.scheme = s;
+      cats::run(k, T, opt);
+      std::printf("ok   env-smoke %s 1D\n", cats::scheme_name(s));
+    }
+  }
+  {
+    cats::ConstStar2D<1> k(24, 32, cats::default_star2d_weights<1>());
+    k.init([](int x, int y) { return 0.01 * x - 0.02 * y; }, 0.25);
+    for (cats::Scheme s : {cats::Scheme::Naive, cats::Scheme::Cats1,
+                           cats::Scheme::Cats2, cats::Scheme::PlutoLike}) {
+      opt.scheme = s;
+      cats::run(k, T, opt);
+      std::printf("ok   env-smoke %s 2D\n", cats::scheme_name(s));
+    }
+  }
+  {
+    cats::ConstStar3D<1> k(12, 16, 16, cats::default_star3d_weights<1>());
+    k.init([](int x, int y, int z) { return 0.01 * x + 0.02 * y - 0.03 * z; },
+           0.125);
+    for (cats::Scheme s :
+         {cats::Scheme::Naive, cats::Scheme::Cats1, cats::Scheme::Cats2,
+          cats::Scheme::Cats3, cats::Scheme::PlutoLike}) {
+      opt.scheme = s;
+      cats::run(k, T, opt);
+      std::printf("ok   env-smoke %s 3D\n", cats::scheme_name(s));
+    }
+  }
+  std::printf("cats_validate: env-smoke clean\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--env-smoke") == 0) {
+    return env_smoke();
+  }
+  std::vector<int> thread_counts;
+  for (int i = 1; i < argc; ++i) {
+    const int p = std::atoi(argv[i]);
+    if (p > 0) thread_counts.push_back(p);
+  }
+  if (thread_counts.empty()) thread_counts = {1, 4};
+
+  const int T = 12;
+  for (const int p : thread_counts) {
+    validate_1d(cats::Scheme::Naive, "naive 1D", p, T);
+    validate_1d(cats::Scheme::Cats1, "CATS1 1D", p, T);
+    validate_1d(cats::Scheme::PlutoLike, "pluto-like 1D", p, T);
+
+    validate_2d(cats::Scheme::Naive, "naive 2D", p, T);
+    validate_2d(cats::Scheme::Cats1, "CATS1 2D", p, T);
+    validate_2d(cats::Scheme::Cats2, "CATS2 2D", p, T);
+    validate_2d(cats::Scheme::PlutoLike, "pluto-like 2D", p, T);
+
+    validate_3d(cats::Scheme::Naive, "naive 3D", p, T);
+    validate_3d(cats::Scheme::Cats1, "CATS1 3D", p, T);
+    validate_3d(cats::Scheme::Cats2, "CATS2 3D", p, T);
+    validate_3d(cats::Scheme::Cats3, "CATS3 3D", p, T);
+    validate_3d(cats::Scheme::PlutoLike, "pluto-like 3D", p, T);
+  }
+  validate_cache_oblivious(T);
+
+  if (g_failures > 0) {
+    std::printf("cats_validate: %d configuration(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("cats_validate: all configurations clean\n");
+  return 0;
+}
