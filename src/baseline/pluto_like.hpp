@@ -12,151 +12,38 @@
 // The inner loops stay scalar source (kernel process_row_scalar) and rely on
 // compiler auto-vectorization, matching the paper's note that the generated
 // code is not hand-vectorized.
+//
+// The skewed rectangular tiles, hyperplane phases and barriers are emitted
+// as a TilePlan (plan/emit.cpp, emit_pluto) and walked with the scalar row
+// path. The 1D nest emits a single-thread plan (each hyperplane holds one
+// tile, so rectangular time tiling offers a 1D Jacobi nest no parallelism).
 
-#include <algorithm>
-#include <cstdint>
-#include <vector>
-
-#include "baseline/pluto_params.hpp"
-#include "check/oracle.hpp"
-#include "core/geometry.hpp"
 #include "core/options.hpp"
 #include "core/stencil.hpp"
-#include "threads/barrier.hpp"
-#include "threads/thread_pool.hpp"
+#include "plan/emit.hpp"
+#include "plan/kernel_walk.hpp"
 
 namespace cats {
 
-/// 1D: skewed rectangular (t, x') tiles. Each hyperplane holds a single tile,
-/// so the transformed 1D nest is effectively a serial pipeline — an honest
-/// representation of what rectangular time tiling offers a 1D Jacobi nest.
 template <RowKernel1D K>
 void run_pluto_like(K& k, int T, const RunOptions& opt) {
-  const check::ScopedOracleThread oracle_bind(opt.oracle, 0);
-  const PlutoParams prm = pluto_params();
-  const int W = k.width(), s = k.slope();
-  const int Bt = prm.bt2, Bj = prm.bx2;
-  for (int tb = 0; tb * Bt < T; ++tb) {
-    const int t_lo = tb * Bt + 1;
-    const int t_hi = std::min((tb + 1) * Bt, T);
-    const std::int64_t jp_lo = static_cast<std::int64_t>(s) * t_lo;
-    const std::int64_t jp_hi = W - 1 + static_cast<std::int64_t>(s) * t_hi;
-    for (std::int64_t tj = floor_div(jp_lo, Bj); tj <= floor_div(jp_hi, Bj); ++tj) {
-      for (int t = t_lo; t <= t_hi; ++t) {
-        const std::int64_t st = static_cast<std::int64_t>(s) * t;
-        const std::int64_t x0 = std::max<std::int64_t>(tj * Bj - st, 0);
-        const std::int64_t x1 = std::min<std::int64_t>((tj + 1) * Bj - st, W);
-        if (x0 < x1) {
-          check::note_row(t, 0, 0, static_cast<int>(x0), static_cast<int>(x1));
-          k.process_row_scalar(t, static_cast<int>(x0), static_cast<int>(x1));
-        }
-      }
-    }
-  }
+  const plan_ir::TilePlan p =
+      plan_ir::emit_pluto(1, k.width(), 1, 1, T, k.slope(), opt.threads);
+  plan_ir::run_plan<true>(k, p, opt);
 }
 
 template <RowKernel2D K>
 void run_pluto_like(K& k, int T, const RunOptions& opt) {
-  const PlutoParams prm = pluto_params();
-  const int W = k.width(), H = k.height(), s = k.slope();
-  const int Bt = prm.bt2, Bi = prm.by2, Bj = prm.bx2;
-  const int P = std::max(1, opt.threads);
-  ThreadPool pool(P, opt.affinity);
-  SpinBarrier bar(P);
-
-  pool.run([&](int tid) {
-    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
-    for (int tb = 0; tb * Bt < T; ++tb) {
-      const int t_lo = tb * Bt + 1;
-      const int t_hi = std::min((tb + 1) * Bt, T);
-      // Skewed coordinate ranges in this time band.
-      const std::int64_t ip_lo = 0 + static_cast<std::int64_t>(s) * t_lo;
-      const std::int64_t ip_hi = H - 1 + static_cast<std::int64_t>(s) * t_hi;
-      const std::int64_t jp_lo = 0 + static_cast<std::int64_t>(s) * t_lo;
-      const std::int64_t jp_hi = W - 1 + static_cast<std::int64_t>(s) * t_hi;
-      const std::int64_t ti_lo = floor_div(ip_lo, Bi), ti_hi = floor_div(ip_hi, Bi);
-      const std::int64_t tj_lo = floor_div(jp_lo, Bj), tj_hi = floor_div(jp_hi, Bj);
-
-      for (std::int64_t d = ti_lo + tj_lo; d <= ti_hi + tj_hi; ++d) {
-        // Tiles on this hyperplane run in parallel.
-        std::int64_t slot = 0;
-        for (std::int64_t ti = std::max(ti_lo, d - tj_hi);
-             ti <= std::min(ti_hi, d - tj_lo); ++ti, ++slot) {
-          if (slot % P != tid) continue;
-          const std::int64_t tj = d - ti;
-          for (int t = t_lo; t <= t_hi; ++t) {
-            const std::int64_t st = static_cast<std::int64_t>(s) * t;
-            const std::int64_t y0 = std::max<std::int64_t>(ti * Bi - st, 0);
-            const std::int64_t y1 = std::min<std::int64_t>((ti + 1) * Bi - st, H);
-            const std::int64_t x0 = std::max<std::int64_t>(tj * Bj - st, 0);
-            const std::int64_t x1 = std::min<std::int64_t>((tj + 1) * Bj - st, W);
-            if (x0 >= x1) continue;
-            for (std::int64_t y = y0; y < y1; ++y) {
-              check::note_row(t, static_cast<int>(y), 0, static_cast<int>(x0),
-                              static_cast<int>(x1));
-              k.process_row_scalar(t, static_cast<int>(y),
-                                   static_cast<int>(x0), static_cast<int>(x1));
-            }
-          }
-        }
-        bar.arrive_and_wait();
-      }
-    }
-  });
+  const plan_ir::TilePlan p = plan_ir::emit_pluto(
+      2, k.width(), k.height(), 1, T, k.slope(), opt.threads);
+  plan_ir::run_plan<true>(k, p, opt);
 }
 
 template <RowKernel3D K>
 void run_pluto_like(K& k, int T, const RunOptions& opt) {
-  const PlutoParams prm = pluto_params();
-  const int W = k.width(), H = k.height(), D = k.depth(), s = k.slope();
-  const int Bt = prm.bt3, Bz = prm.bz3, Bi = prm.by3, Bj = prm.bx3;
-  const int P = std::max(1, opt.threads);
-  ThreadPool pool(P, opt.affinity);
-  SpinBarrier bar(P);
-
-  pool.run([&](int tid) {
-    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
-    for (int tb = 0; tb * Bt < T; ++tb) {
-      const int t_lo = tb * Bt + 1;
-      const int t_hi = std::min((tb + 1) * Bt, T);
-      const std::int64_t sp_lo = static_cast<std::int64_t>(s) * t_lo;
-      const std::int64_t zp_lo = sp_lo, zp_hi = D - 1 + static_cast<std::int64_t>(s) * t_hi;
-      const std::int64_t ip_lo = sp_lo, ip_hi = H - 1 + static_cast<std::int64_t>(s) * t_hi;
-      const std::int64_t jp_lo = sp_lo, jp_hi = W - 1 + static_cast<std::int64_t>(s) * t_hi;
-      const std::int64_t tz_lo = floor_div(zp_lo, Bz), tz_hi = floor_div(zp_hi, Bz);
-      const std::int64_t ti_lo = floor_div(ip_lo, Bi), ti_hi = floor_div(ip_hi, Bi);
-      const std::int64_t tj_lo = floor_div(jp_lo, Bj), tj_hi = floor_div(jp_hi, Bj);
-
-      for (std::int64_t d = tz_lo + ti_lo + tj_lo; d <= tz_hi + ti_hi + tj_hi; ++d) {
-        std::int64_t slot = 0;
-        for (std::int64_t tz = tz_lo; tz <= tz_hi; ++tz) {
-          for (std::int64_t ti = std::max(ti_lo, d - tz - tj_hi);
-               ti <= std::min(ti_hi, d - tz - tj_lo); ++ti, ++slot) {
-            if (slot % P != tid) continue;
-            const std::int64_t tj = d - tz - ti;
-            for (int t = t_lo; t <= t_hi; ++t) {
-              const std::int64_t st = static_cast<std::int64_t>(s) * t;
-              const std::int64_t z0 = std::max<std::int64_t>(tz * Bz - st, 0);
-              const std::int64_t z1 = std::min<std::int64_t>((tz + 1) * Bz - st, D);
-              const std::int64_t y0 = std::max<std::int64_t>(ti * Bi - st, 0);
-              const std::int64_t y1 = std::min<std::int64_t>((ti + 1) * Bi - st, H);
-              const std::int64_t x0 = std::max<std::int64_t>(tj * Bj - st, 0);
-              const std::int64_t x1 = std::min<std::int64_t>((tj + 1) * Bj - st, W);
-              if (x0 >= x1) continue;
-              for (std::int64_t z = z0; z < z1; ++z)
-                for (std::int64_t y = y0; y < y1; ++y) {
-                  check::note_row(t, static_cast<int>(y), static_cast<int>(z),
-                                  static_cast<int>(x0), static_cast<int>(x1));
-                  k.process_row_scalar(t, static_cast<int>(y), static_cast<int>(z),
-                                       static_cast<int>(x0), static_cast<int>(x1));
-                }
-            }
-          }
-        }
-        bar.arrive_and_wait();
-      }
-    }
-  });
+  const plan_ir::TilePlan p = plan_ir::emit_pluto(
+      3, k.width(), k.height(), k.depth(), T, k.slope(), opt.threads);
+  plan_ir::run_plan<true>(k, p, opt);
 }
 
 }  // namespace cats

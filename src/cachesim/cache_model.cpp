@@ -1,6 +1,6 @@
 #include "cachesim/cache_model.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace cats {
 namespace {
@@ -18,9 +18,12 @@ CacheModel::CacheModel(std::size_t bytes, int ways, int line_bytes)
       ways_(ways),
       line_(line_bytes),
       line_shift_(log2_exact(static_cast<std::size_t>(line_bytes))) {
-  assert(ways >= 1 && line_bytes >= 8);
-  assert((std::size_t{1} << line_shift_) == static_cast<std::size_t>(line_bytes));
-  assert(sets_ >= 1);
+  CATS_CHECK(ways >= 1 && line_bytes >= 8,
+             "CacheModel ways=%d line_bytes=%d", ways, line_bytes);
+  CATS_CHECK((std::size_t{1} << line_shift_) ==
+                 static_cast<std::size_t>(line_bytes),
+             "CacheModel line_bytes=%d must be a power of two", line_bytes);
+  CATS_CHECK(sets_ >= 1, "CacheModel %zu bytes yields no sets", bytes);
   entries_.assign(sets_ * static_cast<std::size_t>(ways_), Way{});
 }
 

@@ -71,6 +71,8 @@ DepOracle::DepOracle(int width, int height, int depth, int slope, int threads)
   const std::uint64_t even = pack(0, -1, 0);   // t=0 initial data
   const std::uint64_t odd = pack(-1, -1, 0);   // odd parity never written
   for (std::size_t i = 0; i < slots_.size(); i += 2) {
+    // order: relaxed — construction precedes any worker; the run's thread
+    // creation publishes the shadow grid.
     slots_[i].store(even, std::memory_order_relaxed);
     slots_[i + 1].store(odd, std::memory_order_relaxed);
   }
@@ -130,6 +132,7 @@ void DepOracle::on_row(int tid, int t, int y, int z, int x0, int x1) {
     v.reader_tid = tid;
 
     // Own history: the opposite-parity slot must hold exactly t-1 ...
+    // order: acquire — pairs with the writer's release of the slot.
     const std::uint64_t prev =
         slot(x, y, z, prev_parity).load(std::memory_order_acquire);
     if (stamp_of(prev) != t - 1) {
@@ -156,6 +159,7 @@ void DepOracle::on_row(int tid, int t, int y, int z, int x0, int x1) {
       }
     }
     // ... and the same-parity slot exactly t-2 (-1 sentinel when t == 1).
+    // order: acquire — pairs with the writer's release below.
     const std::uint64_t cur =
         slot(x, y, z, cur_parity).load(std::memory_order_acquire);
     if (stamp_of(cur) != t - 2) {
@@ -183,6 +187,7 @@ void DepOracle::on_row(int tid, int t, int y, int z, int x0, int x1) {
           if (dx == 0 && dy == 0 && dz == 0) continue;
           const int nx = x + dx;
           if (nx < 0 || nx >= w_) continue;
+          // order: acquire — pairs with the neighbor writer's release.
           const std::uint64_t nv =
               slot(nx, ny, nz, prev_parity).load(std::memory_order_acquire);
           const int nt = stamp_of(nv);
@@ -214,9 +219,11 @@ void DepOracle::on_row(int tid, int t, int y, int z, int x0, int x1) {
       }
     }
 
+    // order: release — pairs with the acquire loads of this slot.
     slot(x, y, z, cur_parity)
         .store(pack(t, tid, my_epoch), std::memory_order_release);
   }
+  // order: relaxed — statistics counter; read after the run completes.
   points_checked_.fetch_add(x1 - x0, std::memory_order_relaxed);
 }
 
@@ -297,6 +304,7 @@ void DepOracle::check_complete(int T) {
   for (int z = 0; z < d_; ++z) {
     for (int y = 0; y < h_; ++y) {
       for (int x = 0; x < w_; ++x) {
+        // order: acquire — pairs with the workers' releases of the slot.
         const std::uint64_t last =
             slot(x, y, z, T & 1).load(std::memory_order_acquire);
         if (stamp_of(last) != T) {
@@ -325,6 +333,7 @@ void DepOracle::print_report(std::FILE* out) const {
                "cats dependence oracle: %lld point updates, %lld releases, "
                "%lld acquires, %lld barrier crossings, %lld violation(s)\n",
                static_cast<long long>(
+                   // order: relaxed — statistics counter.
                    points_checked_.load(std::memory_order_relaxed)),
                static_cast<long long>(releases_),
                static_cast<long long>(acquires_),

@@ -112,6 +112,7 @@ class DepOracle final : public SyncObserver {
   /// First kMaxViolations violations in detection order.
   std::vector<Violation> violations() const;
   std::int64_t points_checked() const {
+    // order: relaxed — statistics counter; read after the run completes.
     return points_checked_.load(std::memory_order_relaxed);
   }
   std::int64_t release_count() const;

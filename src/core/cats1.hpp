@@ -13,134 +13,38 @@
 // In 2D the wavefront holds TZ full x-rows; in 3D it holds TZ full (x,y)
 // slices — which is why CATS1 in 3D falls back for large domains (Section
 // II-B) and the selector then picks CATS2.
+//
+// The schedule — wavefront-column tiles, the split-tiling ProgressGE edges,
+// the barrier/reset/barrier chunk boundary — is emitted as a TilePlan
+// (plan/emit.cpp, emit_cats1) and walked; plan/verify.hpp checks the same
+// plan statically.
 
-#include <algorithm>
-#include <cstdint>
-#include <vector>
-
-#include "check/oracle.hpp"
-#include "core/geometry.hpp"
 #include "core/options.hpp"
-#include "core/stats.hpp"
 #include "core/stencil.hpp"
-#include "threads/barrier.hpp"
-#include "threads/progress.hpp"
-#include "threads/thread_pool.hpp"
+#include "plan/emit.hpp"
+#include "plan/kernel_walk.hpp"
 
 namespace cats {
-namespace detail {
-
-/// Shared CATS1 driver: Slice(t, p) computes the full wavefront slice at
-/// traversal position p, timestep t (a row in 2D, a plane in 3D).
-template <class Slice>
-void cats1_sweep(std::int64_t extent, int slope, int T, int tz_param,
-                 const RunOptions& opt, Slice&& slice) {
-  const int threads = opt.threads;
-  RunStats* stats = opt.stats;
-  const int tz_cap = std::max(1, std::min(tz_param, T));
-  // Tiles narrower than 2s would let dependencies skip over a tile; clamp.
-  const std::int64_t span = extent + 2ll * slope * (tz_cap - 1);
-  const int P = static_cast<int>(std::clamp<std::int64_t>(
-      std::min<std::int64_t>(threads, span / std::max(1, 2 * slope)), 1,
-      threads));
-
-  ThreadPool pool(P, opt.affinity);
-  SpinBarrier bar(P);
-  std::vector<ProgressCell> progress(static_cast<std::size_t>(P));
-
-  pool.run([&](int tid) {
-    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
-    std::int64_t local_spins = 0, local_events = 0, local_ns = 0,
-                 local_tiles = 0, local_barriers = 0;
-    for (int t0 = 1; t0 <= T; t0 += tz_cap) {
-      const int tz = std::min(tz_cap, T - t0 + 1);
-      const Cats1Chunk chunk{slope, tz, extent, P};
-      const Range ur = chunk.tile_u_range(tid);
-      const Range ur_right =
-          (tid + 1 < P) ? chunk.tile_u_range(tid + 1) : Range{};
-
-      for (std::int64_t u = ur.lo; u <= ur.hi; ++u) {
-        if (tid + 1 < P && u >= ur_right.lo) {
-          const WaitResult w =
-              progress[static_cast<std::size_t>(tid + 1)].wait_ge(
-                  std::min(u, ur_right.hi));
-          if (w.spins > 0) {
-            ++local_events;
-            local_spins += w.spins;
-            local_ns += w.ns;
-          }
-        }
-        // The leading edge of the wavefront (lowest tau) reads input the
-        // chunk has never touched — that is where main-memory traffic
-        // happens, so that is the slice worth prefetching ahead of.
-        const Range taus = chunk.tau_range(tid, u);
-        for (std::int64_t tau = taus.lo; tau <= taus.hi; ++tau) {
-          slice(t0 + static_cast<int>(tau),
-                static_cast<int>(u - slope * tau), /*front=*/tau == taus.lo);
-        }
-        progress[static_cast<std::size_t>(tid)].publish(u);
-      }
-      // Only tiles that held at least one wavefront column count as
-      // processed; threads idled by the P clamp (empty u-range) do not.
-      if (ur.lo <= ur.hi) ++local_tiles;
-
-      // Chunk boundary: everyone finishes, progress counters reset, then the
-      // next chunk starts (two barriers so no thread can observe a stale
-      // counter from the previous chunk).
-      bar.arrive_and_wait();
-      progress[static_cast<std::size_t>(tid)].reset();
-      bar.arrive_and_wait();
-      local_barriers += 2;
-    }
-    if (stats) {
-      stats->wait_events.fetch_add(local_events, std::memory_order_relaxed);
-      stats->wait_spins.fetch_add(local_spins, std::memory_order_relaxed);
-      stats->wait_ns.fetch_add(local_ns, std::memory_order_relaxed);
-      stats->tiles_processed.fetch_add(local_tiles, std::memory_order_relaxed);
-      stats->barriers.fetch_add(local_barriers, std::memory_order_relaxed);
-    }
-  });
-}
-
-}  // namespace detail
 
 template <RowKernel1D K>
 void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
-  detail::cats1_sweep(k.width(), k.slope(), T, tz, opt, [&](int t, int x, bool) {
-    check::note_row(t, 0, 0, x, x + 1);
-    k.process_row(t, x, x + 1);
-  });
+  const plan_ir::TilePlan p =
+      plan_ir::emit_cats1(1, k.width(), 1, 1, T, k.slope(), tz, opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
 template <RowKernel2D K>
 void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
-  const int W = k.width();
-  detail::cats1_sweep(k.height(), k.slope(), T, tz, opt,
-                      [&](int t, int y, bool front) {
-                        // Leading wavefront edge: the row swept next (one
-                        // position ahead at the same timestep) is cold; hint
-                        // it into cache while this row computes.
-                        if constexpr (kernel_has_prefetch_front<K>) {
-                          if (front) k.prefetch_front(t, y + 1);
-                        }
-                        check::note_row(t, y, 0, 0, W);
-                        k.process_row(t, y, 0, W);
-                      });
+  const plan_ir::TilePlan p = plan_ir::emit_cats1(
+      2, k.width(), k.height(), 1, T, k.slope(), tz, opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
 template <RowKernel3D K>
 void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
-  const int W = k.width(), H = k.height();
-  detail::cats1_sweep(k.depth(), k.slope(), T, tz, opt,
-                      [&](int t, int z, bool front) {
-                        if constexpr (kernel_has_prefetch_front<K>) {
-                          if (front) k.prefetch_front(t, z + 1);
-                        }
-                        for (int y = 0; y < H; ++y) {
-                          check::note_row(t, y, z, 0, W);
-                          k.process_row(t, y, z, 0, W);
-                        }
-                      });
+  const plan_ir::TilePlan p = plan_ir::emit_cats1(
+      3, k.width(), k.height(), k.depth(), T, k.slope(), tz, opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
 }  // namespace cats

@@ -12,160 +12,33 @@
 //
 // Thread -> diamond assignment is a-priori round-robin within each diamond
 // row, matching the paper's static diamondSet(tid).
+//
+// The diamond tubes and their done-flag edges are emitted as a TilePlan
+// (plan/emit.cpp, emit_cats2) and walked; in 2D the tiling dimension is x
+// and the traversal dimension y (per-level variable x bounds, handled by the
+// kernel's unaligned SIMD path), in 3D the tiling dimension is y, the
+// traversal dimension z, and rows span the full fixed-bounds x extent (the
+// paper's CATS(d-1) default).
 
-#include <algorithm>
-#include <cstdint>
-#include <vector>
-
-#include "check/oracle.hpp"
-#include "core/geometry.hpp"
 #include "core/options.hpp"
-#include "core/stats.hpp"
 #include "core/stencil.hpp"
-#include "threads/progress.hpp"
-#include "threads/thread_pool.hpp"
+#include "plan/emit.hpp"
+#include "plan/kernel_walk.hpp"
 
 namespace cats {
-namespace detail {
 
-/// Shared CATS2 driver. TubeSweep(dt, i, j) processes one diamond tube.
-template <class TubeSweep>
-void cats2_sweep(const DiamondTiling& dt, const RunOptions& opt,
-                 TubeSweep&& tube) {
-  const int threads = opt.threads;
-  RunStats* stats = opt.stats;
-  const Range ir = dt.i_range();
-  const Range jr = dt.j_range();
-  const Range rr = dt.r_range();
-  const std::int64_t ni = ir.hi - ir.lo + 1;
-  const std::int64_t nj = jr.hi - jr.lo + 1;
-
-  std::vector<DoneFlag> flags(static_cast<std::size_t>(ni * nj));
-  auto flag = [&](std::int64_t i, std::int64_t j) -> DoneFlag& {
-    return flags[static_cast<std::size_t>((i - ir.lo) * nj + (j - jr.lo))];
-  };
-  auto in_range = [&](std::int64_t i, std::int64_t j) {
-    return i >= ir.lo && i <= ir.hi && j >= jr.lo && j <= jr.hi;
-  };
-
-  const int P = std::max(1, threads);
-  ThreadPool pool(P, opt.affinity);
-  pool.run([&](int tid) {
-    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
-    std::int64_t local_spins = 0, local_events = 0, local_ns = 0,
-                 local_tiles = 0;
-    for (std::int64_t r = rr.lo; r <= rr.hi; ++r) {
-      // Diamonds in row r: (i, j = i - r).
-      const std::int64_t ilo = std::max(ir.lo, jr.lo + r);
-      const std::int64_t ihi = std::min(ir.hi, jr.hi + r);
-      for (std::int64_t i = ilo; i <= ihi; ++i) {
-        if ((i - ilo) % P != tid) continue;
-        const std::int64_t j = i - r;
-        if (dt.nonempty(i, j)) {
-          // Wait on the two diamonds below (Fig. 3); absent or empty
-          // neighbors carry no dependency.
-          WaitResult w;
-          if (in_range(i - 1, j) && dt.nonempty(i - 1, j)) {
-            const WaitResult a = flag(i - 1, j).wait();
-            w.spins += a.spins;
-            w.ns += a.ns;
-          }
-          if (in_range(i, j + 1) && dt.nonempty(i, j + 1)) {
-            const WaitResult b = flag(i, j + 1).wait();
-            w.spins += b.spins;
-            w.ns += b.ns;
-          }
-          if (w.spins > 0) {
-            ++local_events;
-            local_spins += w.spins;
-            local_ns += w.ns;
-          }
-          tube(dt, i, j);
-          ++local_tiles;
-        }
-        flag(i, j).set();
-      }
-    }
-    if (stats) {
-      stats->wait_events.fetch_add(local_events, std::memory_order_relaxed);
-      stats->wait_spins.fetch_add(local_spins, std::memory_order_relaxed);
-      stats->wait_ns.fetch_add(local_ns, std::memory_order_relaxed);
-      stats->tiles_processed.fetch_add(local_tiles, std::memory_order_relaxed);
-    }
-  });
-}
-
-}  // namespace detail
-
-/// CATS2 in 2D: tiling dimension x, traversal dimension y. The x loop inside
-/// the tube has per-level variable bounds (handled by the kernel's unaligned
-/// SIMD path).
 template <RowKernel2D K>
 void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
-  const int H = k.height();
-  const int s = k.slope();
-  const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.width(), 1, T};
-
-  detail::cats2_sweep(dt, opt,
-      [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
-        const Range tr = d.t_range(i, j);
-        if (tr.empty()) return;
-        // Wavefront w = y + s*t sweeps the tube along y.
-        const std::int64_t w_lo = s * tr.lo;
-        const std::int64_t w_hi = H - 1 + s * tr.hi;
-        for (std::int64_t w = w_lo; w <= w_hi; ++w) {
-          const Range ts = intersect(
-              tr, {ceil_div(w - H + 1, s), floor_div(w, s)});
-          for (std::int64_t t = ts.lo; t <= ts.hi; ++t) {
-            const Range px = d.p_range(i, j, t);
-            if (px.empty()) continue;
-            // Leading edge of the tube wavefront (lowest t) streams
-            // never-touched rows from memory; hint the next one.
-            if constexpr (kernel_has_prefetch_front<K>) {
-              if (t == ts.lo) k.prefetch_front(static_cast<int>(t),
-                                               static_cast<int>(w - s * t + 1));
-            }
-            check::note_row(static_cast<int>(t), static_cast<int>(w - s * t),
-                            0, static_cast<int>(px.lo),
-                            static_cast<int>(px.hi + 1));
-            k.process_row(static_cast<int>(t), static_cast<int>(w - s * t),
-                          static_cast<int>(px.lo), static_cast<int>(px.hi + 1));
-          }
-        }
-      });
+  const plan_ir::TilePlan p = plan_ir::emit_cats2(
+      2, k.width(), k.height(), 1, T, k.slope(), bz, opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
-/// CATS2 in 3D: tiling dimension y, traversal dimension z, full x rows
-/// (fixed unit-stride loop bounds — the paper's CATS(d-1) default).
 template <RowKernel3D K>
 void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
-  const int W = k.width(), D = k.depth();
-  const int s = k.slope();
-  const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.height(), 1, T};
-
-  detail::cats2_sweep(dt, opt,
-      [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
-        const Range tr = d.t_range(i, j);
-        if (tr.empty()) return;
-        const std::int64_t w_lo = s * tr.lo;
-        const std::int64_t w_hi = D - 1 + s * tr.hi;
-        for (std::int64_t w = w_lo; w <= w_hi; ++w) {
-          const Range ts = intersect(
-              tr, {ceil_div(w - D + 1, s), floor_div(w, s)});
-          for (std::int64_t t = ts.lo; t <= ts.hi; ++t) {
-            const Range py = d.p_range(i, j, t);
-            const int z = static_cast<int>(w - s * t);
-            if constexpr (kernel_has_prefetch_front<K>) {
-              if (t == ts.lo) k.prefetch_front(static_cast<int>(t), z + 1);
-            }
-            for (std::int64_t y = py.lo; y <= py.hi; ++y) {
-              check::note_row(static_cast<int>(t), static_cast<int>(y), z, 0,
-                              W);
-              k.process_row(static_cast<int>(t), static_cast<int>(y), z, 0, W);
-            }
-          }
-        }
-      });
+  const plan_ir::TilePlan p = plan_ir::emit_cats2(
+      3, k.width(), k.height(), k.depth(), T, k.slope(), bz, opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
 }  // namespace cats

@@ -17,59 +17,27 @@
 // no extra synchronization. Cross-diamond dependencies are the usual two
 // done-flags. The wavefront that must stay cached is then
 // (diamond area) x BX instead of (diamond area) x W.
+//
+// Each (diamond, x-parallelogram) pair is one plan tile (plan/emit.cpp,
+// emit_cats3): the done-waits attach to a diamond's first (rightmost)
+// q-tile, the done-flag publish to its last, and the q-chain rides on the
+// owner's program order.
 
-#include <algorithm>
 #include <cstdint>
 
-#include "check/oracle.hpp"
-#include "core/cats2.hpp"
-#include "core/geometry.hpp"
 #include "core/options.hpp"
 #include "core/stencil.hpp"
+#include "plan/emit.hpp"
+#include "plan/kernel_walk.hpp"
 
 namespace cats {
 
 template <RowKernel3D K>
 void run_cats3(K& k, int T, const RunOptions& opt, std::int64_t bz,
                std::int64_t bx) {
-  const int W = k.width(), D = k.depth();
-  const int s = k.slope();
-  const DiamondTiling dt{s, std::max<std::int64_t>(bz, 2ll * s), k.height(), 1, T};
-  const std::int64_t bxw = std::max<std::int64_t>(bx, 2ll * s);
-
-  detail::cats2_sweep(dt, opt,
-      [&](const DiamondTiling& d, std::int64_t i, std::int64_t j) {
-        const Range tr = d.t_range(i, j);
-        if (tr.empty()) return;
-        // x-parallelograms relevant to this diamond's time range:
-        // vx = x - s*t with x in [0, W), t in [tr.lo, tr.hi].
-        const std::int64_t q_lo = floor_div(0 - s * tr.hi, bxw);
-        const std::int64_t q_hi = floor_div(W - 1 - s * tr.lo, bxw);
-        const std::int64_t w_lo = s * tr.lo;
-        const std::int64_t w_hi = D - 1 + s * tr.hi;
-        // Right-to-left over x tiles; full wavefront sweep per tile.
-        for (std::int64_t q = q_hi; q >= q_lo; --q) {
-          for (std::int64_t w = w_lo; w <= w_hi; ++w) {
-            const Range ts = intersect(
-                tr, {ceil_div(w - D + 1, s), floor_div(w, s)});
-            for (std::int64_t t = ts.lo; t <= ts.hi; ++t) {
-              const std::int64_t st = static_cast<std::int64_t>(s) * t;
-              const std::int64_t x0 = std::max<std::int64_t>(q * bxw + st, 0);
-              const std::int64_t x1 = std::min<std::int64_t>((q + 1) * bxw + st,
-                                                             W);
-              if (x0 >= x1) continue;
-              const Range py = d.p_range(i, j, t);
-              const int z = static_cast<int>(w - st);
-              for (std::int64_t y = py.lo; y <= py.hi; ++y) {
-                check::note_row(static_cast<int>(t), static_cast<int>(y), z,
-                                static_cast<int>(x0), static_cast<int>(x1));
-                k.process_row(static_cast<int>(t), static_cast<int>(y), z,
-                              static_cast<int>(x0), static_cast<int>(x1));
-              }
-            }
-          }
-        }
-      });
+  const plan_ir::TilePlan p = plan_ir::emit_cats3(
+      k.width(), k.height(), k.depth(), T, k.slope(), bz, bx, opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
 }  // namespace cats

@@ -3,74 +3,36 @@
 // The outermost spatial loop is split into equal tiles, one per thread; the
 // inner loop is the kernel's hand-vectorized row. Threads synchronize with a
 // barrier after each timestep.
+//
+// Like every scheme, the schedule is emitted as a TilePlan first and then
+// walked (src/plan), so the same plan can be statically verified.
 
-#include <algorithm>
-
-#include "check/oracle.hpp"
-#include "core/stencil.hpp"
 #include "core/options.hpp"
-#include "threads/barrier.hpp"
-#include "threads/thread_pool.hpp"
+#include "core/stencil.hpp"
+#include "plan/emit.hpp"
+#include "plan/kernel_walk.hpp"
 
 namespace cats {
 
 template <RowKernel1D K>
 void run_naive(K& k, int T, const RunOptions& opt) {
-  const int W = k.width();
-  const int P = std::clamp(opt.threads, 1, W);
-  ThreadPool pool(P, opt.affinity);
-  SpinBarrier bar(P);
-  pool.run([&](int tid) {
-    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
-    const int x0 = static_cast<int>(static_cast<std::int64_t>(W) * tid / P);
-    const int x1 = static_cast<int>(static_cast<std::int64_t>(W) * (tid + 1) / P);
-    for (int t = 1; t <= T; ++t) {
-      check::note_row(t, 0, 0, x0, x1);
-      k.process_row(t, x0, x1);
-      bar.arrive_and_wait();
-    }
-  });
+  const plan_ir::TilePlan p =
+      plan_ir::emit_naive(1, k.width(), 1, 1, T, k.slope(), opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
 template <RowKernel2D K>
 void run_naive(K& k, int T, const RunOptions& opt) {
-  const int W = k.width(), H = k.height();
-  const int P = std::clamp(opt.threads, 1, H);
-  ThreadPool pool(P, opt.affinity);
-  SpinBarrier bar(P);
-  pool.run([&](int tid) {
-    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
-    const int y0 = static_cast<int>(static_cast<std::int64_t>(H) * tid / P);
-    const int y1 = static_cast<int>(static_cast<std::int64_t>(H) * (tid + 1) / P);
-    for (int t = 1; t <= T; ++t) {
-      for (int y = y0; y < y1; ++y) {
-        check::note_row(t, y, 0, 0, W);
-        k.process_row(t, y, 0, W);
-      }
-      bar.arrive_and_wait();
-    }
-  });
+  const plan_ir::TilePlan p = plan_ir::emit_naive(
+      2, k.width(), k.height(), 1, T, k.slope(), opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
 template <RowKernel3D K>
 void run_naive(K& k, int T, const RunOptions& opt) {
-  const int W = k.width(), H = k.height(), D = k.depth();
-  const int P = std::clamp(opt.threads, 1, D);
-  ThreadPool pool(P, opt.affinity);
-  SpinBarrier bar(P);
-  pool.run([&](int tid) {
-    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
-    const int z0 = static_cast<int>(static_cast<std::int64_t>(D) * tid / P);
-    const int z1 = static_cast<int>(static_cast<std::int64_t>(D) * (tid + 1) / P);
-    for (int t = 1; t <= T; ++t) {
-      for (int z = z0; z < z1; ++z)
-        for (int y = 0; y < H; ++y) {
-          check::note_row(t, y, z, 0, W);
-          k.process_row(t, y, z, 0, W);
-        }
-      bar.arrive_and_wait();
-    }
-  });
+  const plan_ir::TilePlan p = plan_ir::emit_naive(
+      3, k.width(), k.height(), k.depth(), T, k.slope(), opt.threads);
+  plan_ir::run_plan(k, p, opt);
 }
 
 }  // namespace cats

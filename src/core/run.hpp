@@ -127,27 +127,27 @@ SchemeChoice run(K& k, int T, const RunOptions& opt) {
   }
   const SchemeChoice choice = plan(k, T, eff);
   if (T <= 0) return choice;
-  switch (choice.scheme) {
+  // Dimensional fallbacks (CATS2 in 1D -> CATS1, CATS3 below 3D -> CATS2/1)
+  // are shared with plan emission via resolve_dispatch, so the statically
+  // verifiable plan is always the schedule that executes here. The returned
+  // choice stays unresolved: it reports what the selector picked.
+  constexpr int dims = RowKernel3D<K> ? 3 : RowKernel2D<K> ? 2 : 1;
+  const SchemeChoice exec = resolve_dispatch(choice, dims);
+  switch (exec.scheme) {
     case Scheme::Naive:
       run_naive(k, T, eff);
       break;
     case Scheme::Cats1:
-      run_cats1(k, T, eff, choice.tz);
+      run_cats1(k, T, eff, exec.tz);
       break;
     case Scheme::Cats2:
-      if constexpr (RowKernel1D<K>) {
-        run_cats1(k, T, eff, std::max(1, choice.tz));  // 1D: CATS1 is CATS(d)
-      } else {
-        run_cats2(k, T, eff, choice.bz);
+      if constexpr (!RowKernel1D<K>) {
+        run_cats2(k, T, eff, exec.bz);
       }
       break;
     case Scheme::Cats3:
       if constexpr (RowKernel3D<K>) {
-        run_cats3(k, T, eff, choice.bz, choice.bx);
-      } else if constexpr (RowKernel2D<K>) {
-        run_cats2(k, T, eff, choice.bz);  // selector clamps 2D to CATS2
-      } else {
-        run_cats1(k, T, eff, std::max(1, choice.tz));
+        run_cats3(k, T, eff, exec.bz, exec.bx);
       }
       break;
     case Scheme::PlutoLike:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "bench_harness/machine.hpp"
 #include "check/check.hpp"
@@ -10,11 +11,8 @@
 
 namespace cats {
 
-namespace {
-
-/// Eq. 2 before the 2s clamp; the Auto path inspects the raw value to detect
-/// caches too small for any time skewing at all.
-double raw_bz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& k) {
+double eq2_bz_raw(std::size_t cache_bytes, const DomainShape& d,
+                  const KernelCosts& k) {
   const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
   const double bz2 = 2.0 * k.slope * zd * static_cast<double>(d.wmax) *
                      static_cast<double>(d.wmax2) /
@@ -22,7 +20,10 @@ double raw_bz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& 
   return std::sqrt(std::max(bz2, 0.0));
 }
 
-}  // namespace
+double cats3_bz_raw(std::size_t cache_bytes, const KernelCosts& k) {
+  const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
+  return std::cbrt(std::max(2.0 * k.slope * zd / k.cs_eff, 0.0));
+}
 
 int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& k) {
   CATS_CHECK(k.slope >= 1, "stencil slope must be >= 1, got %d", k.slope);
@@ -34,6 +35,11 @@ int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts&
   const double tz = zd * static_cast<double>(d.wmax) /
                     (k.cs_eff * static_cast<double>(d.n));
   if (tz < 1.0) return 0;
+  // Huge Z with a tiny N overflows the double -> int conversion (UB); any
+  // chunk this tall is clamped to T by the callers anyway.
+  if (tz >= static_cast<double>(std::numeric_limits<int>::max())) {
+    return std::numeric_limits<int>::max();
+  }
   return static_cast<int>(tz);
 }
 
@@ -44,7 +50,7 @@ std::int64_t compute_bz(std::size_t cache_bytes, const DomainShape& d,
              k.cs_eff);
   CATS_CHECK(d.n > 0, "domain must be non-empty, got n=%lld",
              static_cast<long long>(d.n));
-  const auto bz = static_cast<std::int64_t>(raw_bz(cache_bytes, d, k));
+  const auto bz = static_cast<std::int64_t>(eq2_bz_raw(cache_bytes, d, k));
   return std::max<std::int64_t>(bz, 2ll * k.slope);
 }
 
@@ -52,9 +58,7 @@ std::int64_t compute_bz3(std::size_t cache_bytes, const KernelCosts& k) {
   CATS_CHECK(k.slope >= 1, "stencil slope must be >= 1, got %d", k.slope);
   CATS_CHECK(k.cs_eff > 0.0, "effective cache slices CS must be > 0, got %g",
              k.cs_eff);
-  const double zd = static_cast<double>(cache_bytes) / k.elem_bytes;
-  const double bz3 = 2.0 * k.slope * zd / k.cs_eff;
-  const auto bz = static_cast<std::int64_t>(std::cbrt(std::max(bz3, 0.0)));
+  const auto bz = static_cast<std::int64_t>(cats3_bz_raw(cache_bytes, k));
   return std::max<std::int64_t>(bz, 2ll * k.slope);
 }
 
@@ -69,11 +73,11 @@ SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
 
   switch (opt.scheme) {
     case Scheme::Naive:
-      return {Scheme::Naive, 0, 0};
+      return {Scheme::Naive, 0, 0, 0};
     case Scheme::Cats1: {
       int tz = opt.tz_override ? opt.tz_override
                                : std::max(1, compute_tz(z, d, k));
-      return {Scheme::Cats1, std::min(tz, T), 0};
+      return {Scheme::Cats1, std::min(tz, T), 0, 0};
     }
     case Scheme::Cats2: {
       std::int64_t bz = opt.bz_override ? opt.bz_override : compute_bz(z, d, k);
@@ -104,7 +108,7 @@ SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
   // deliberately tiny Z parameter): no wavefront of any CATS scheme can stay
   // resident, so time skewing only adds tile overhead — stream naively.
   if (d.dims >= 2 && tz == 0 && !opt.tz_override && !opt.bz_override &&
-      raw_bz(z, d, k) < 2.0 * k.slope) {
+      eq2_bz_raw(z, d, k) < 2.0 * k.slope) {
     return {Scheme::Naive, 0, 0, 0};
   }
   if (d.dims == 1 || tz >= opt.min_wavefront_timesteps || tz >= T) {
@@ -122,6 +126,17 @@ SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
             std::max<std::int64_t>(bx, 2ll * k.slope)};
   }
   return {Scheme::Cats2, 0, bz, 0};
+}
+
+SchemeChoice resolve_dispatch(const SchemeChoice& c, int dims) {
+  if (dims == 1 &&
+      (c.scheme == Scheme::Cats2 || c.scheme == Scheme::Cats3)) {
+    return {Scheme::Cats1, std::max(1, c.tz), 0, 0};
+  }
+  if (dims == 2 && c.scheme == Scheme::Cats3) {
+    return {Scheme::Cats2, 0, c.bz, 0};
+  }
+  return c;
 }
 
 RunOptions apply_tuning(const RunOptions& opt, const std::string& kernel_id,

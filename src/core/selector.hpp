@@ -39,7 +39,9 @@ struct SchemeChoice {
   std::int64_t bx = 0;  ///< CATS3 x-parallelogram width
 };
 
-/// Eq. 1. Returns 0 when even one timestep does not fit.
+/// Eq. 1. Returns 0 when even one timestep does not fit; clamped to INT_MAX
+/// for huge-cache/tiny-domain combinations (the untruncated double would
+/// overflow the int conversion, which is UB).
 int compute_tz(std::size_t cache_bytes, const DomainShape& d, const KernelCosts& k);
 
 /// Eq. 2. Clamped below at 2s (minimum useful diamond).
@@ -54,6 +56,21 @@ std::int64_t compute_bz3(std::size_t cache_bytes, const KernelCosts& k);
 /// General CATS selection; honors opt.scheme / overrides / rule of thumb.
 SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,
                            const RunOptions& opt, int T);
+
+/// Dimensional dispatch fallbacks applied after select_scheme: CATS2 in 1D
+/// runs the CATS1 wavefront (CATS1 is CATS(d) there), CATS3 below 3D runs
+/// CATS2/CATS1. run() and plan emission (src/plan/emit.cpp) share this so
+/// the emitted plan is always the schedule that would actually execute.
+SchemeChoice resolve_dispatch(const SchemeChoice& c, int dims);
+
+/// Eq. 2 before the 2s floor, and the CATS3 (cube-root) analogue. The Auto
+/// path uses the raw value to detect caches too small for any time skewing;
+/// plan emission uses it to record that a selector output was clamp-inflated
+/// past the cache bound (plan verification then downgrades the residency
+/// violation to a warning).
+double eq2_bz_raw(std::size_t cache_bytes, const DomainShape& d,
+                  const KernelCosts& k);
+double cats3_bz_raw(std::size_t cache_bytes, const KernelCosts& k);
 
 /// opt.cache_bytes, or the detected per-core private L2 when 0.
 std::size_t resolve_cache_bytes(const RunOptions& opt);

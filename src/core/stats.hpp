@@ -47,6 +47,8 @@ struct RunStats {
   std::atomic<std::int64_t> barriers{0};
 
   void reset() {
+    // order: relaxed — counters are reset before workers start and read
+    // after they join; the pool's fork/join provides the ordering.
     wait_events.store(0, std::memory_order_relaxed);
     wait_spins.store(0, std::memory_order_relaxed);
     wait_ns.store(0, std::memory_order_relaxed);
@@ -56,6 +58,7 @@ struct RunStats {
 
   void add_wait(const WaitResult& w) {
     if (w.spins > 0) {
+      // order: relaxed — independent counters; read only after the join.
       wait_events.fetch_add(1, std::memory_order_relaxed);
       wait_spins.fetch_add(w.spins, std::memory_order_relaxed);
       wait_ns.fetch_add(w.ns, std::memory_order_relaxed);

@@ -116,6 +116,8 @@ void run_cats2_dynamic(K& k, int T, const RunOptions& opt, std::int64_t bz) {
       const std::int64_t ihi = std::min(ir.hi, jr.hi + r);
       auto& cur = cursor[static_cast<std::size_t>(r - rr.lo)];
       for (;;) {
+        // order: relaxed — work-stealing ticket; only atomicity matters, the
+        // diamond's data ordering comes from its done-flag edges.
         const std::int64_t slot = cur.fetch_add(1, std::memory_order_relaxed);
         const std::int64_t i = ilo + slot;
         if (i > ihi) break;

@@ -1,0 +1,60 @@
+#pragma once
+// Plan emitters: one per scheme, mirroring the loop structure the schemes
+// historically executed directly. Emission is pure geometry — no kernel, no
+// threads — so a plan can be built and verified for any (dims, N, T, s,
+// threads, TZ/BZ/BX) combination without running anything (tools/
+// cats_plan_check sweeps thousands). The scheme entry points (core/*.hpp,
+// baseline/pluto_like.hpp) call these same emitters and then walk the result
+// (plan/kernel_walk.hpp), which is what keeps plan and execution identical.
+//
+// Extent arguments follow the kernel accessors: nx = width, ny = height,
+// nz = depth; unused extents are 1. All emitters apply the same parameter
+// clamps the schemes always applied (CATS1 tz in [1, T], thread count
+// limited by tile width; CATS2/3 bz/bx floored at 2s; naive P capped by the
+// outer extent), so the emitted plan records what would truly run.
+
+#include <cstdint>
+
+#include "core/selector.hpp"
+#include "plan/plan.hpp"
+
+namespace cats::plan_ir {
+
+TilePlan emit_naive(int dims, std::int64_t nx, std::int64_t ny,
+                    std::int64_t nz, int T, int slope, int threads);
+
+TilePlan emit_cats1(int dims, std::int64_t nx, std::int64_t ny,
+                    std::int64_t nz, int T, int slope, int tz, int threads);
+
+TilePlan emit_cats2(int dims, std::int64_t nx, std::int64_t ny,
+                    std::int64_t nz, int T, int slope, std::int64_t bz,
+                    int threads);
+
+/// 3D only (the selector clamps CATS3 to CATS2 below three dimensions).
+TilePlan emit_cats3(std::int64_t nx, std::int64_t ny, std::int64_t nz, int T,
+                    int slope, std::int64_t bz, std::int64_t bx, int threads);
+
+TilePlan emit_pluto(int dims, std::int64_t nx, std::int64_t ny,
+                    std::int64_t nz, int T, int slope, int threads);
+
+/// Everything select_scheme needs, without a kernel: the geometry plus the
+/// kernel cost model (slope via `slope`, CS' via `cs_eff`, element size).
+struct PlanRequest {
+  int dims = 2;
+  std::int64_t nx = 0, ny = 1, nz = 1;
+  int T = 0;
+  int slope = 1;
+  double cs_eff = 2.8;     ///< effective_cs(kernel, opt.cs_slack)
+  double elem_bytes = 8.0;
+  RunOptions opt;          ///< scheme, threads, cache_bytes, overrides, ...
+};
+
+/// Run the full selection pipeline (select_scheme + resolve_dispatch, the
+/// same path run() takes) and emit the plan of the scheme that would
+/// actually execute — including the degenerate-cache fallback to naive and
+/// the dimensional clamps (CATS3 in 2D -> CATS2, CATS2 in 1D -> CATS1).
+/// Fills the residency-certification fields (cache model, certify flag,
+/// `clamped` when a selector floor was hit).
+TilePlan emit_plan(const PlanRequest& rq);
+
+}  // namespace cats::plan_ir

@@ -1,0 +1,77 @@
+#pragma once
+// Kernel adapters over the plan executor: expand each slab into the kernel's
+// row calls (with oracle note_row instrumentation and the wavefront
+// leading-edge prefetch hint). These are the only place plans meet kernels;
+// every scheme entry point is emit + run_plan.
+//
+// `Scalar` selects process_row_scalar (the PluTo-like baseline's plain-C
+// path) instead of the hand-vectorized process_row.
+
+#include "core/options.hpp"
+#include "core/stencil.hpp"
+#include "plan/execute.hpp"
+#include "plan/plan.hpp"
+
+namespace cats::plan_ir {
+
+template <bool Scalar = false, RowKernel1D K>
+void run_plan(K& k, const TilePlan& p, const RunOptions& opt) {
+  execute_plan(p, opt, [&k](const Slab& sl) {
+    const int x0 = static_cast<int>(sl.box.xlo);
+    const int x1 = static_cast<int>(sl.box.xhi) + 1;
+    check::note_row(sl.t, 0, 0, x0, x1);
+    if constexpr (Scalar) {
+      k.process_row_scalar(sl.t, x0, x1);
+    } else {
+      k.process_row(sl.t, x0, x1);
+    }
+  });
+}
+
+template <bool Scalar = false, RowKernel2D K>
+void run_plan(K& k, const TilePlan& p, const RunOptions& opt) {
+  execute_plan(p, opt, [&k](const Slab& sl) {
+    // Leading wavefront edge: the row swept next (one traversal position
+    // ahead at the same timestep) is cold; hint it into cache while this
+    // slab computes.
+    if constexpr (kernel_has_prefetch_front<K>) {
+      if (sl.front) k.prefetch_front(sl.t, static_cast<int>(sl.box.ylo) + 1);
+    }
+    const int x0 = static_cast<int>(sl.box.xlo);
+    const int x1 = static_cast<int>(sl.box.xhi) + 1;
+    for (std::int64_t y = sl.box.ylo; y <= sl.box.yhi; ++y) {
+      check::note_row(sl.t, static_cast<int>(y), 0, x0, x1);
+      if constexpr (Scalar) {
+        k.process_row_scalar(sl.t, static_cast<int>(y), x0, x1);
+      } else {
+        k.process_row(sl.t, static_cast<int>(y), x0, x1);
+      }
+    }
+  });
+}
+
+template <bool Scalar = false, RowKernel3D K>
+void run_plan(K& k, const TilePlan& p, const RunOptions& opt) {
+  execute_plan(p, opt, [&k](const Slab& sl) {
+    if constexpr (kernel_has_prefetch_front<K>) {
+      if (sl.front) k.prefetch_front(sl.t, static_cast<int>(sl.box.zlo) + 1);
+    }
+    const int x0 = static_cast<int>(sl.box.xlo);
+    const int x1 = static_cast<int>(sl.box.xhi) + 1;
+    for (std::int64_t z = sl.box.zlo; z <= sl.box.zhi; ++z) {
+      for (std::int64_t y = sl.box.ylo; y <= sl.box.yhi; ++y) {
+        check::note_row(sl.t, static_cast<int>(y), static_cast<int>(z), x0,
+                        x1);
+        if constexpr (Scalar) {
+          k.process_row_scalar(sl.t, static_cast<int>(y),
+                               static_cast<int>(z), x0, x1);
+        } else {
+          k.process_row(sl.t, static_cast<int>(y), static_cast<int>(z), x0,
+                        x1);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace cats::plan_ir

@@ -27,14 +27,23 @@ class SpinBarrier {
     // arrival happens-before every participant's departure.
     SyncObserver* const obs = sync_observer();
     if (obs) obs->on_barrier_arrive(this);
+    // order: relaxed — own thread flipped sense_ last; ordering comes from
+    // the acq_rel arrival below and the release/acquire on sense_.
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    // order: acq_rel — every arrival joins the prior arrivals' writes so the
+    // last arriver's sense_ release publishes all pre-barrier effects.
     if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
+      // order: relaxed — only the last arriver writes; next round's arrivals
+      // are ordered behind the sense_ release below.
       count_.store(0, std::memory_order_relaxed);
+      // order: release — pairs with the acquire spin; departing waiters see
+      // all pre-barrier writes.
       sense_.store(my_sense, std::memory_order_release);
       if (obs) obs->on_barrier_leave(this);
       return;
     }
     int spins = 0, exponent = 0;
+    // order: acquire — pairs with the last arriver's release of sense_.
     while (sense_.load(std::memory_order_acquire) != my_sense) {
       if (++spins > kSpinLimit) {
         std::this_thread::yield();

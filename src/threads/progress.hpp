@@ -68,18 +68,23 @@ WaitResult adaptive_wait(Satisfied&& satisfied, int spin_limit) {
 struct alignas(64) ProgressCell {
   std::atomic<std::int64_t> value{INT64_MIN};
 
+  // order: relaxed — reset happens only between phases, under a barrier.
   void reset() { value.store(INT64_MIN, std::memory_order_relaxed); }
 
   void publish(std::int64_t v) {
     if (SyncObserver* o = sync_observer()) o->on_release(this, v);
+    // order: release — pairs with wait_ge's acquire; waiters see all writes
+    // up to the published wavefront.
     value.store(v, std::memory_order_release);
   }
 
+  // order: acquire — pairs with publish's release.
   std::int64_t load() const { return value.load(std::memory_order_acquire); }
 
   /// Blocks until the published value reaches `bound`.
   WaitResult wait_ge(std::int64_t bound) const {
     const WaitResult r = detail::adaptive_wait(
+        // order: acquire — pairs with publish's release.
         [&] { return value.load(std::memory_order_acquire) >= bound; },
         kSpinLimit);
     if (SyncObserver* o = sync_observer()) o->on_acquire(this, bound);
@@ -95,8 +100,11 @@ struct DoneFlag {
 
   void set() {
     if (SyncObserver* o = sync_observer()) o->on_release(this, 1);
+    // order: release — pairs with test's acquire; the tile's writes are
+    // visible before the flag reads set.
     done.store(1, std::memory_order_release);
   }
+  // order: acquire — pairs with set's release.
   bool test() const { return done.load(std::memory_order_acquire) != 0; }
 
   /// Blocks until set.

@@ -1,8 +1,9 @@
 #include "threads/thread_pool.hpp"
 
-#include <cassert>
 #include <cstdio>
 #include <cstring>
+
+#include "check/check.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -16,6 +17,7 @@ namespace {
 /// process so benchmarks are not silently unpinned.
 void warn_unpinned_once(const char* why) {
   static std::atomic<bool> warned{false};
+  // order: relaxed — one-shot flag; nothing is published through it.
   if (!warned.exchange(true, std::memory_order_relaxed)) {
     std::fprintf(stderr, "cats: thread pinning unavailable (%s); running unpinned\n",
                  why);
@@ -40,7 +42,7 @@ bool ThreadPool::pin_self(int cpu) {
 ThreadPool::ThreadPool(int threads, AffinityPolicy affinity,
                        const Topology* topology)
     : n_(threads) {
-  assert(threads >= 1);
+  CATS_CHECK(threads >= 1, "ThreadPool threads=%d must be >= 1", threads);
 
   if (affinity != AffinityPolicy::None) {
     const Topology& topo = topology ? *topology : system_topology();
@@ -59,6 +61,7 @@ ThreadPool::ThreadPool(int threads, AffinityPolicy affinity,
 #endif
       if (pin_self(pin_order_[0])) {
         caller_pinned_ = true;
+        // order: acq_rel — pairs with pinned_count's acquire.
         pinned_.fetch_add(1, std::memory_order_acq_rel);
       } else {
         warn_unpinned_once("sched_setaffinity failed");
@@ -124,6 +127,7 @@ void ThreadPool::run(const std::function<void(int)>& job) {
 void ThreadPool::worker_loop(int tid) {
   if (static_cast<std::size_t>(tid) < pin_order_.size()) {
     if (pin_self(pin_order_[static_cast<std::size_t>(tid)])) {
+      // order: acq_rel — pairs with pinned_count's acquire.
       pinned_.fetch_add(1, std::memory_order_acq_rel);
     } else {
       warn_unpinned_once("sched_setaffinity failed");

@@ -46,6 +46,7 @@ class ThreadPool {
   /// Participants successfully pinned (0 when unpinned or unsupported).
   /// Workers pin themselves on startup; join via run() before relying on a
   /// final value in tests.
+  // order: acquire — pairs with the workers' acq_rel increments.
   int pinned_count() const { return pinned_.load(std::memory_order_acquire); }
 
   /// Run job(tid) for tid in [0, size()); returns when all are finished.

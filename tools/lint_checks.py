@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Repo lint checks (wired into the CI lint job).
+
+Three rules over src/:
+
+1. no-bare-assert: `assert(...)` is compiled out by -DNDEBUG in release
+   builds, which is exactly where scheme bugs bite. Invariants must use
+   CATS_CHECK (src/check/check.hpp), which stays on and formats a message.
+   (`static_assert` is fine.)
+
+2. memory-order-comments: every non-default std::memory_order argument must
+   carry a `// order:` comment on the same line or within the two lines
+   above (a comment covers a contiguous run of atomic lines below it), so
+   the pairing that justifies the relaxation is written down where it can
+   rot visibly.
+
+3. standalone-headers: every src/**/*.hpp must compile on its own
+   (g++ -std=c++20 -fsyntax-only -I src), so headers keep their includes
+   and no header silently depends on its inclusion context.
+
+Exit status 0 = clean, 1 = findings (printed as file:line: rule: message).
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+BARE_ASSERT = re.compile(r"(?<![_\w])assert\s*\(")
+MEMORY_ORDER = re.compile(
+    r"memory_order_(relaxed|acquire|release|acq_rel|consume)")
+ORDER_COMMENT = re.compile(r"//\s*order:")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_comment(line: str) -> str:
+    return LINE_COMMENT.sub("", line)
+
+
+def check_bare_assert(path: Path, lines: list[str], findings: list[str]) -> None:
+    for ln, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        if "static_assert" in code:
+            code = code.replace("static_assert", "")
+        if BARE_ASSERT.search(code):
+            findings.append(
+                f"{path.relative_to(REPO)}:{ln}: no-bare-assert: use "
+                f"CATS_CHECK (check/check.hpp); assert() vanishes under "
+                f"-DNDEBUG")
+
+
+def check_memory_order(path: Path, lines: list[str],
+                       findings: list[str]) -> None:
+    covered = False  # previous line was an annotated/covered atomic line
+    for ln, line in enumerate(lines, 1):
+        uses = MEMORY_ORDER.search(strip_comment(line)) is not None
+        if not uses:
+            covered = False
+            continue
+        ok = (
+            ORDER_COMMENT.search(line)
+            or any(ORDER_COMMENT.search(lines[i])
+                   for i in range(max(0, ln - 3), ln - 1))
+            or covered  # contiguous run under one comment
+        )
+        if not ok:
+            findings.append(
+                f"{path.relative_to(REPO)}:{ln}: memory-order-comments: "
+                f"non-default memory_order needs a `// order:` comment on "
+                f"this line or within the 2 lines above")
+        covered = bool(ok)
+
+
+def check_standalone_headers(findings: list[str]) -> None:
+    headers = sorted(SRC.rglob("*.hpp"))
+    for h in headers:
+        r = subprocess.run(
+            ["g++", "-std=c++20", "-fsyntax-only", "-I", str(SRC), str(h)],
+            capture_output=True, text=True)
+        if r.returncode != 0:
+            first = (r.stderr.strip().splitlines() or ["unknown error"])[0]
+            findings.append(
+                f"{h.relative_to(REPO)}:1: standalone-headers: header does "
+                f"not compile on its own: {first}")
+
+
+def main() -> int:
+    findings: list[str] = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        lines = path.read_text().splitlines()
+        check_bare_assert(path, lines, findings)
+        check_memory_order(path, lines, findings)
+    check_standalone_headers(findings)
+    for f in findings:
+        print(f)
+    print(f"lint_checks: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
