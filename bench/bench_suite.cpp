@@ -1,0 +1,141 @@
+// Consolidated perf-tracking suite: one pinned-size run per kernel family x
+// scheme configuration, emitting a single machine-readable report
+// (`--json BENCH_5.json`) with MLUP/s and modeled DRAM bytes/point per row.
+// CI runs it under CATS_BENCH_TINY and tools/bench_compare.py diffs the
+// MLUP/s columns against the checked-in baseline (15% tolerance).
+//
+// Each CATS2 family is measured twice: "cats2_plain" disables the wave
+// engine (unroll_t=1, no NT stores, no software prefetch) and "cats2_wave"
+// enables it (temporal fusion, NT trailing stores, prefetch) — their ratio
+// is the wave engine's speedup on this machine.
+
+#include "common.hpp"
+#include "kernels/banded2d.hpp"
+#include "kernels/banded3d.hpp"
+#include "kernels/const2d.hpp"
+#include "kernels/const3d.hpp"
+
+using namespace cats;
+using namespace cats::bench;
+
+namespace {
+
+struct SchemeConfig {
+  const char* name;
+  Scheme scheme;
+  int unroll_t;       // RunOptions::unroll_t (0 = auto-fuse)
+  bool nt_stores;
+  int prefetch_dist;
+};
+
+constexpr SchemeConfig kConfigs[] = {
+    {"naive", Scheme::Naive, 1, false, 0},
+    {"pluto", Scheme::PlutoLike, 1, false, 0},
+    {"cats1", Scheme::Cats1, 0, false, 4},
+    {"cats2_plain", Scheme::Cats2, 1, false, 0},
+    {"cats2_wave", Scheme::Cats2, 0, true, 4},
+};
+
+RunOptions suite_options(const BenchConfig& cfg, const SchemeConfig& sc) {
+  RunOptions opt = options_for(cfg, sc.scheme);
+  opt.tuning = Tuning::Off;  // pinned configs; tuning would blur the diff
+  opt.unroll_t = sc.unroll_t;
+  opt.nt_stores = sc.nt_stores;
+  opt.prefetch_dist = sc.prefetch_dist;
+  return opt;
+}
+
+template <class MakeKernel>
+void bench_kernel(Table& table, const char* kernel, MakeKernel&& make, int T,
+                  const BenchConfig& cfg, double n) {
+  for (const SchemeConfig& sc : kConfigs) {
+    const RunOptions opt = suite_options(cfg, sc);
+    SchemeChoice choice{};
+    const double secs = time_scheme(make, T, opt, cfg.reps, &choice);
+    const auto k = make();
+    const double bpp = model_dram_bytes(k, T, opt, choice) / (n * T);
+    table.add_row({kernel, sc.name, fmt_fixed(secs, 4),
+                   fmt_fixed(n * T / secs / 1e6, 1), fmt_fixed(bpp, 2),
+                   scheme_name(choice.scheme)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = bench_config(argc, argv);
+  print_banner(std::cout, "Bench suite: scheme x kernel perf matrix");
+  json_log().set_title("bench_suite");
+
+  // Pinned sizes so successive runs are directly comparable. Tiny is sized
+  // for the CI comparison gate, not minimality: each timed point must take
+  // tens of milliseconds, or virtualized-clock jitter swamps the 15%
+  // regression tolerance (sub-5ms tiny points vary +-30% run to run).
+  const double m2 = cfg.tiny ? 1.0 : (cfg.full ? 16.0 : 4.0);
+  const double m3 = cfg.tiny ? 1.0 : (cfg.full ? 16.0 : 4.0);
+  const int T = cfg.tiny ? 24 : 50;
+  const int side2 = side_2d(m2), side3 = side_3d(m3);
+  const double n2 = static_cast<double>(side2) * side2;
+  const double n3 = static_cast<double>(side3) * side3 * side3;
+  std::cout << "threads=" << cfg.threads << " 2D side=" << side2
+            << " 3D side=" << side3 << " T=" << T << "\n\n";
+
+  Table table({"kernel", "config", "secs", "MLUP/s", "model B/pt", "scheme"});
+
+  bench_kernel(table, "const2d", [&] {
+    ConstStar2D<1> k(side2, side2, default_star2d_weights<1>());
+    k.parallel_init(options_for(cfg, Scheme::Naive),
+                    [](int x, int y) { return 0.01 * x + 0.02 * y; }, 1.0);
+    return k;
+  }, T, cfg, n2);
+
+  bench_kernel(table, "banded2d", [&] {
+    Banded2D<1> k(side2, side2);
+    k.parallel_init(options_for(cfg, Scheme::Naive),
+                    [](int x, int y) { return 0.01 * x + 0.02 * y; }, 1.0);
+    k.init_bands([](int b, int x, int y) {
+      return (b == 0 ? 0.5 : 0.125) * (1.0 + 1e-3 * ((x ^ y) & 7));
+    });
+    return k;
+  }, T, cfg, n2);
+
+  bench_kernel(table, "const3d", [&] {
+    ConstStar3D<1> k(side3, side3, side3, default_star3d_weights<1>());
+    k.parallel_init(
+        options_for(cfg, Scheme::Naive),
+        [](int x, int y, int z) { return 0.01 * x + 0.02 * y - 0.005 * z; },
+        1.0);
+    return k;
+  }, T, cfg, n3);
+
+  bench_kernel(table, "banded3d", [&] {
+    Banded3D<1> k(side3, side3, side3);
+    k.parallel_init(
+        options_for(cfg, Scheme::Naive),
+        [](int x, int y, int z) { return 0.01 * x + 0.02 * y - 0.005 * z; },
+        1.0);
+    k.init_bands([](int b, int x, int y, int z) {
+      return (b == 0 ? 0.5 : 0.08) * (1.0 + 1e-3 * ((x ^ y ^ z) & 7));
+    });
+    return k;
+  }, T, cfg, n3);
+
+  table.print(std::cout);
+
+  // Wave-engine speedup summary (the PR 5 acceptance numbers).
+  const auto& rows = table.rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i][1] != std::string("cats2_plain")) continue;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (rows[j][0] == rows[i][0] && rows[j][1] == std::string("cats2_wave")) {
+        const double plain = std::atof(rows[i][3].c_str());
+        const double wave = std::atof(rows[j][3].c_str());
+        std::cout << rows[i][0] << ": wave engine speedup "
+                  << fmt_fixed(plain > 0 ? wave / plain : 0.0, 2) << "x ("
+                  << fmt_fixed(plain, 1) << " -> " << fmt_fixed(wave, 1)
+                  << " MLUP/s)\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 // CLI flags (override the environment): --json <path>, --tune db|search,
 // --affinity none|compact|scatter.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,7 @@
 
 #include "bench_harness/report.hpp"
 #include "bench_harness/timing.hpp"
+#include "cachesim/traffic_model.hpp"
 #include "core/run.hpp"
 #include "core/stats.hpp"
 #include "simd/vecd.hpp"
@@ -116,10 +118,51 @@ void ensure_tuned(MakeKernel&& make_kernel, int T, RunOptions& opt) {
   opt.tuning = Tuning::UseDb;
 }
 
+/// Analytic DRAM bytes for one timed configuration, RFO-corrected unless NT
+/// stores apply (cachesim/traffic_model.hpp). NT is credited whenever the
+/// option is on and a CATS scheme ran — the model's write pass is exactly
+/// the trailing-wavefront traffic the wave engine streams; plans that fail
+/// nt_store_eligible() at execution keep their RFOs, so this scalar is the
+/// *model's* figure, not a measurement.
+template <class K>
+double model_dram_bytes(const K& k, int T, const RunOptions& opt,
+                        const SchemeChoice& c) {
+  const DomainShape d = domain_shape(k);
+  TrafficInput in;
+  in.n = static_cast<double>(d.n);
+  in.t_steps = T;
+  in.bands = k.extra_cache_doubles_per_point();
+  in.state = k.state_doubles_per_point();
+  in.slope = k.slope();
+  in.wmax = std::max(1.0, static_cast<double>(d.wmax));
+  in.tiles = opt.threads;
+  double bytes = 0.0;
+  bool cats = true;
+  switch (c.scheme) {
+    case Scheme::Cats1:
+      bytes = cats1_traffic_bytes(in, std::max(1, c.tz));
+      break;
+    case Scheme::Cats2:
+    case Scheme::Cats3:
+      bytes = cats2_traffic_bytes(
+          in, std::max<std::int64_t>(2ll * in.slope, c.bz));
+      break;
+    default:
+      bytes = naive_traffic_bytes(in);
+      cats = false;
+      break;
+  }
+  if (!(opt.nt_stores && cats)) bytes = with_rfo_bytes(in, bytes);
+  return bytes;
+}
+
 /// Median wall seconds of `reps` runs; make_kernel() -> fresh initialized
 /// kernel each rep (the run mutates it). With --json enabled, the timed
 /// runs' synchronization wait time (RunStats::wait_ns over all reps) is
-/// accumulated into the report's scalars.
+/// accumulated into the report's scalars, along with the analytic DRAM
+/// traffic ("model_dram_bytes", one rep's worth per timed configuration)
+/// and the matching update count ("model_updates" = N*T); their ratio is
+/// the modeled effective DRAM bytes per point update.
 template <class MakeKernel>
 double time_scheme(MakeKernel&& make_kernel, int T, const RunOptions& opt,
                    int reps, SchemeChoice* choice_out = nullptr) {
@@ -129,17 +172,25 @@ double time_scheme(MakeKernel&& make_kernel, int T, const RunOptions& opt,
   if (json_log().enabled() && !ropt.stats) ropt.stats = &wait_stats;
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(reps));
+  SchemeChoice last{};
   for (int r = 0; r < reps; ++r) {
     auto k = make_kernel();
     Timer timer;
-    const SchemeChoice c = run(k, T, ropt);
+    last = run(k, T, ropt);
     samples.push_back(timer.seconds());
-    if (choice_out) *choice_out = c;
+    if (choice_out) *choice_out = last;
   }
   if (ropt.stats == &wait_stats) {
     json_log().bump_scalar("wait_ns", static_cast<double>(wait_stats.wait_ns));
     json_log().bump_scalar("wait_events",
                            static_cast<double>(wait_stats.wait_events));
+  }
+  if (json_log().enabled()) {
+    const auto k = make_kernel();
+    json_log().bump_scalar("model_dram_bytes",
+                           model_dram_bytes(k, T, ropt, last));
+    json_log().bump_scalar(
+        "model_updates", static_cast<double>(domain_shape(k).n) * T);
   }
   return summarize(samples).median;
 }

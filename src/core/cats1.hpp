@@ -42,8 +42,13 @@ void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
 
 template <RowKernel3D K>
 void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
+  // Intra-tile teams (wave engine): m workers cooperate on each tile, so the
+  // plan is emitted with threads/m owners; the executor re-derives m from
+  // the same wave_team_width rule and backs each owner with a team.
+  const int m = wave_team_width(3, Scheme::Cats1, opt);
+  const int teams = m > 1 ? std::max(1, opt.threads / m) : opt.threads;
   const plan_ir::TilePlan p = plan_ir::emit_cats1(
-      3, k.width(), k.height(), k.depth(), T, k.slope(), tz, opt.threads);
+      3, k.width(), k.height(), k.depth(), T, k.slope(), tz, teams);
   plan_ir::run_plan(k, p, opt);
 }
 

@@ -36,8 +36,11 @@ void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
 
 template <RowKernel3D K>
 void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
+  // Intra-tile teams: see run_cats1's 3D overload.
+  const int m = wave_team_width(3, Scheme::Cats2, opt);
+  const int teams = m > 1 ? std::max(1, opt.threads / m) : opt.threads;
   const plan_ir::TilePlan p = plan_ir::emit_cats2(
-      3, k.width(), k.height(), k.depth(), T, k.slope(), bz, opt.threads);
+      3, k.width(), k.height(), k.depth(), T, k.slope(), bz, teams);
   plan_ir::run_plan(k, p, opt);
 }
 

@@ -87,6 +87,31 @@ struct RunOptions {
   /// for every run() by setting the CATS_VALIDATE environment variable.
   bool validate = false;
 
+  /// Non-temporal (streaming) stores on the trailing wavefront (src/wave).
+  /// Only honored when the plan's residency certificate shows the trailing
+  /// wavefront's output leaves cache before its next reader (CATS1/2/3 with
+  /// certified, unclamped Eq. 1/2 parameters); ignored — never unsafe —
+  /// elsewhere. Off by default: profitable only when the write-back stream
+  /// is DRAM-bound.
+  bool nt_stores = false;
+
+  /// Temporal unroll of the in-cache wavefront (src/wave): fuse this many
+  /// consecutive timesteps of one tile's wavefront chain through a staggered
+  /// sweep. 0 = auto (fuse up to 4 where legal), 1 = off, 2..4 = fixed.
+  /// Bit-exact with the unfused walk; auto-disabled under an attached
+  /// dependence oracle and for team-owned tiles.
+  int unroll_t = 0;
+
+  /// Threads cooperating on one 3D CATS1/CATS2 tile (intra-tile
+  /// parallelization of the orthogonal y dimension). threads/team_size teams
+  /// own tiles exactly as before; members split each slab's rows and meet at
+  /// a team barrier per slab. 1 = off.
+  int team_size = 1;
+
+  /// Cache lines software-prefetched at the wavefront's leading edge
+  /// (kernel prefetch_front hint distance). 0 disables the hint.
+  int prefetch_dist = 4;
+
   /// Empirical-tuning policy; Off keeps selection purely analytic.
   Tuning tuning = Tuning::Off;
 
@@ -94,5 +119,19 @@ struct RunOptions {
   /// ($CATS_TUNE_DB, else ~/.cache/cats/tune.json).
   const char* tuning_db_path = nullptr;
 };
+
+/// Intra-tile team width m the wave engine uses for a plan of the given
+/// dimensionality and scheme: team_size clamped to [1, threads], honored
+/// only for 3D CATS1/CATS2 (the tiles with a full orthogonal y extent per
+/// slab; everywhere else a slab is a single row and splitting it would
+/// serialize on the team barrier). The schemes emit plans with threads/m
+/// tile owners and the executor re-derives m from this same rule, so the
+/// emitted plan and the worker layout always agree.
+inline int wave_team_width(int dims, Scheme scheme, const RunOptions& opt) {
+  if (dims != 3) return 1;
+  if (scheme != Scheme::Cats1 && scheme != Scheme::Cats2) return 1;
+  const int cap = opt.threads > 0 ? opt.threads : 1;
+  return opt.team_size < 1 ? 1 : (opt.team_size > cap ? cap : opt.team_size);
+}
 
 }  // namespace cats

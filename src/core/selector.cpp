@@ -164,6 +164,14 @@ RunOptions apply_tuning(const RunOptions& opt, const std::string& kernel_id,
   if (e->affinity == "none") tuned.affinity = AffinityPolicy::None;
   else if (e->affinity == "compact") tuned.affinity = AffinityPolicy::Compact;
   else if (e->affinity == "scatter") tuned.affinity = AffinityPolicy::Scatter;
+  // Wave-engine knobs (src/wave): advisory like the rest — untuned entries
+  // (pre-wave DBs) keep the caller's values, and team_size is re-clamped by
+  // wave_team_width at execution anyway.
+  if (e->nt_stores >= 0) tuned.nt_stores = e->nt_stores != 0;
+  if (e->unroll_t >= 0) tuned.unroll_t = e->unroll_t;
+  if (e->team_size > 0 && e->team_size <= opt.threads)
+    tuned.team_size = e->team_size;
+  if (e->prefetch_dist >= 0) tuned.prefetch_dist = e->prefetch_dist;
   if (e->scheme == "Naive") {
     tuned.scheme = Scheme::Naive;
   } else if (e->scheme == "CATS1" && e->tz > 0) {

@@ -86,15 +86,62 @@ constexpr bool kernel_sequential_deps() {
   }
 }
 
-/// True when K exposes `prefetch_front(t, p)` — a hint that the wavefront's
-/// leading edge will sweep the row/plane at traversal position p, timestep t
-/// shortly. Drivers (CATS1/CATS2) call it one position ahead of the slice
-/// being computed; kernels issue software prefetches clamped to their ghost
-/// range. Optional: absent members simply skip the hint.
+/// True when K exposes `prefetch_front(t, p, lines)` — a hint that the
+/// wavefront's leading edge will sweep the row/plane at traversal position
+/// p, timestep t shortly. Drivers (CATS1/CATS2) call it one position ahead
+/// of the slice being computed with RunOptions::prefetch_dist as the number
+/// of cache lines to start; kernels issue software prefetches clamped to
+/// their ghost range. Optional: absent members simply skip the hint.
 template <class K>
-constexpr bool kernel_has_prefetch_front = requires(const K& k, int t, int p) {
-  k.prefetch_front(t, p);
+constexpr bool kernel_has_prefetch_front =
+    requires(const K& k, int t, int p, int lines) {
+      k.prefetch_front(t, p, lines);
+    };
+
+/// True when K exposes the non-temporal write-back path `process_row_nt`
+/// (same arguments as process_row): identical arithmetic, but stores stream
+/// past the cache. The wave engine uses it only for trailing-wavefront slabs
+/// certified to leave cache (see plan/verify.hpp nt_store_eligible) and
+/// fences before the owning tile publishes.
+template <class K>
+constexpr bool kernel_has_row_nt_2d =
+    requires(K& k, int t, int y, int x0, int x1) {
+      k.process_row_nt(t, y, x0, x1);
+    };
+template <class K>
+constexpr bool kernel_has_row_nt_3d =
+    requires(K& k, int t, int y, int z, int x0, int x1) {
+      k.process_row_nt(t, y, z, x0, x1);
+    };
+
+/// Vectors per x-chunk of the fused 2D micro-kernel's diagonal schedule
+/// (kernels/const2d.hpp, banded2d.hpp). Wider chunks amortize the
+/// stage-switch overhead; narrower ones keep the group's live rows hotter in
+/// L1. Overridable at build time for tuning experiments.
+#ifndef CATS_WAVE_CHUNK_VECS
+#define CATS_WAVE_CHUNK_VECS 64
+#endif
+inline constexpr int kWaveChunkVecs = CATS_WAVE_CHUNK_VECS;
+
+/// One stage of a fused temporal micro-kernel group: the row at timestep t
+/// (2D: row y; the engine builds stages from consecutive wavefront-chain
+/// slabs, t ascending by 1). [x0, x1) half-open like process_row.
+struct WaveStage {
+  int t = 0;
+  int y = 0;
+  int x0 = 0, x1 = 0;
+  bool nt = false;  ///< stream this stage's stores (trailing wavefront)
 };
+
+/// True when K implements the register-tiled 2D temporal micro-kernel
+/// `process_stages(const WaveStage* st, int n)`: n x-staggered rows at
+/// consecutive timesteps swept in lockstep with one weight/pointer setup
+/// (src/wave/microkernel.hpp documents the dependence-legal stagger).
+template <class K>
+constexpr bool kernel_has_process_stages =
+    requires(K& k, const WaveStage* st, int n) {
+      k.process_stages(st, n);
+    };
 
 /// Bytes per stored element — the paper lists "the memory size of a data
 /// type" among CATS's parameters. Kernels with non-double storage expose an

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/options.hpp"
+#include "core/stencil.hpp"  // WaveStage
 #include "grid/grid2d.hpp"
 #include "simd/vecd.hpp"
 #include "threads/first_touch.hpp"
@@ -66,13 +67,14 @@ class Banded2D {
                       });
   }
 
-  /// Leading-edge hint: next source row plus its center-band coefficients
-  /// (the matrix entries stream alongside the values).
-  void prefetch_front(int t, int p) const {
+  /// Leading-edge hint: `lines` cache lines of the next source row plus its
+  /// center-band coefficients (the matrix entries stream alongside the
+  /// values).
+  void prefetch_front(int t, int p, int lines) const {
     const int y = std::min(p + S, height() - 1 + S);
     const double* r = buf_[(t - 1) & 1].row(y);
     const double* b = bands_[0].row(std::min(y, height() - 1 + S));
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < lines; ++i) {
       simd::prefetch_read(r + i * 8);
       simd::prefetch_read(b + i * 8);
     }
@@ -104,7 +106,107 @@ class Banded2D {
     span<simd::ScalarD>(t, y, x0, x1);
   }
 
+  /// Non-temporal write-back path (see ConstStar2D::process_row_nt).
+  void process_row_nt(int t, int y, int x0, int x1) {
+    const int x = span<simd::NtVecD>(t, y, x0, x1);
+    span<simd::ScalarD>(t, y, x, x1);
+  }
+
+  /// Register-tiled temporal micro-kernel (see ConstStar2D::process_stages
+  /// for the stagger contract). Banded stages additionally resolve the NS
+  /// coefficient-band row pointers once per group — the matrix entries are
+  /// time-invariant, so every fused timestep reads the same band rows while
+  /// they are hot.
+  void process_stages(const WaveStage* st, int n) {
+    struct Stage {
+      const double* c;
+      double* o;
+      const double* rm[S];
+      const double* rp[S];
+      const double* bc;
+      const double *bxm[S], *bxp[S], *bym[S], *byp[S];
+      int x0, x1;
+      bool nt;
+    };
+    Stage sg[4];
+    int base = st[0].x0;
+    int hi = st[0].x1;
+    for (int g = 0; g < n; ++g) {
+      const Grid2D<double>& src = buf_[(st[g].t - 1) & 1];
+      Grid2D<double>& dst = buf_[st[g].t & 1];
+      const int y = st[g].y;
+      Stage& s = sg[g];
+      s.c = src.row(y);
+      s.o = dst.row(y);
+      s.bc = bands_[0].row(y);
+      for (int k = 0; k < S; ++k) {
+        s.rm[k] = src.row(y - (k + 1));
+        s.rp[k] = src.row(y + (k + 1));
+        const std::size_t bb = static_cast<std::size_t>(4 * k);
+        s.bxm[k] = bands_[bb + 1].row(y);
+        s.bxp[k] = bands_[bb + 2].row(y);
+        s.bym[k] = bands_[bb + 3].row(y);
+        s.byp[k] = bands_[bb + 4].row(y);
+      }
+      s.x0 = st[g].x0;
+      s.x1 = st[g].x1;
+      s.nt = st[g].nt;
+      base = std::min(base, st[g].x0);
+      hi = std::max(hi, st[g].x1);
+    }
+    using V = simd::VecD;
+    constexpr int kChunk =
+        kWaveChunkVecs * V::width >= S
+            ? kWaveChunkVecs * V::width
+            : ((S + V::width - 1) / V::width) * V::width;
+    const int chunks = (hi - base + kChunk - 1) / kChunk;
+    for (int j = 0; j < chunks + n - 1; ++j) {
+      for (int g = 0; g < n; ++g) {
+        const int ci = j - g;
+        if (ci < 0 || ci >= chunks) continue;
+        const Stage& s = sg[g];
+        const int a = std::max(s.x0, base + ci * kChunk);
+        const int b = std::min(s.x1, base + (ci + 1) * kChunk);
+        if (a >= b) continue;
+        if (s.nt) {
+          stage_chunk<simd::NtVecD>(s, a, b);
+        } else {
+          stage_chunk<simd::VecD>(s, a, b);
+        }
+      }
+    }
+  }
+
  private:
+  /// One x-chunk of one stage: vector body then ScalarD tail. All operands
+  /// are loads (the banded stencil broadcasts nothing), so the generic
+  /// vector body serves both store flavors directly.
+  template <class V, class Stage>
+  void stage_chunk(const Stage& s, int a, int b) {
+    int x = a;
+    for (; x + V::width <= b; x += V::width) {
+      V acc = V::load(s.bc + x) * V::load(s.c + x);
+      for (int k = 0; k < S; ++k) {
+        acc = V::fma(V::load(s.bxm[k] + x), V::load(s.c + x - (k + 1)), acc);
+        acc = V::fma(V::load(s.bxp[k] + x), V::load(s.c + x + (k + 1)), acc);
+        acc = V::fma(V::load(s.bym[k] + x), V::load(s.rm[k] + x), acc);
+        acc = V::fma(V::load(s.byp[k] + x), V::load(s.rp[k] + x), acc);
+      }
+      acc.store(s.o + x);
+    }
+    using Sc = simd::ScalarD;
+    for (; x < b; ++x) {
+      Sc acc = Sc::load(s.bc + x) * Sc::load(s.c + x);
+      for (int k = 0; k < S; ++k) {
+        acc = Sc::fma(Sc::load(s.bxm[k] + x), Sc::load(s.c + x - (k + 1)), acc);
+        acc = Sc::fma(Sc::load(s.bxp[k] + x), Sc::load(s.c + x + (k + 1)), acc);
+        acc = Sc::fma(Sc::load(s.bym[k] + x), Sc::load(s.rm[k] + x), acc);
+        acc = Sc::fma(Sc::load(s.byp[k] + x), Sc::load(s.rp[k] + x), acc);
+      }
+      acc.store(s.o + x);
+    }
+  }
+
   template <class V>
   int span(int t, int y, int x0, int x1) {
     const Grid2D<double>& src = buf_[(t - 1) & 1];

@@ -21,6 +21,10 @@ class Banded3D {
  public:
   static constexpr int kBands = 6 * S + 1;  // NS
 
+  /// Engine-side temporal fusion is legal: value reads lie in the slope-S
+  /// box at t-1 and band reads are time-invariant (wave/microkernel.hpp).
+  static constexpr bool wave_fusable = true;
+
   Banded3D(int width, int height, int depth)
       : buf_{Grid3D<double>(width, height, depth, S, kDeferFirstTouch),
              Grid3D<double>(width, height, depth, S, kDeferFirstTouch)} {
@@ -65,12 +69,13 @@ class Banded3D {
                       });
   }
 
-  /// Leading-edge hint: next source plane plus its center-band coefficients.
-  void prefetch_front(int t, int p) const {
+  /// Leading-edge hint: `lines` cache lines of the next source plane plus
+  /// its center-band coefficients.
+  void prefetch_front(int t, int p, int lines) const {
     const int z = std::min(p + S, depth() - 1 + S);
     const double* r = buf_[(t - 1) & 1].row(0, z);
     const double* b = bands_[0].row(0, z);
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < lines; ++i) {
       simd::prefetch_read(r + i * 8);
       simd::prefetch_read(b + i * 8);
     }
@@ -100,6 +105,12 @@ class Banded3D {
 
   void process_row_scalar(int t, int y, int z, int x0, int x1) {
     span<simd::ScalarD>(t, y, z, x0, x1);
+  }
+
+  /// Non-temporal write-back path (see ConstStar3D::process_row_nt).
+  void process_row_nt(int t, int y, int z, int x0, int x1) {
+    const int x = span<simd::NtVecD>(t, y, z, x0, x1);
+    span<simd::ScalarD>(t, y, z, x, x1);
   }
 
  private:

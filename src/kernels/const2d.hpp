@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/options.hpp"
+#include "core/stencil.hpp"  // WaveStage
 #include "grid/grid2d.hpp"
 #include "simd/vecd.hpp"
 #include "threads/first_touch.hpp"
@@ -68,12 +69,13 @@ class ConstStar2D {
                       });
   }
 
-  /// Leading-edge hint (see kernel_has_prefetch_front): start the source row
-  /// the wavefront sweeps next; the hardware prefetcher continues the stream.
-  void prefetch_front(int t, int p) const {
+  /// Leading-edge hint (see kernel_has_prefetch_front): start `lines` cache
+  /// lines of the source row the wavefront sweeps next; the hardware
+  /// prefetcher continues the stream.
+  void prefetch_front(int t, int p, int lines) const {
     const Grid2D<double>& src = buf_[(t - 1) & 1];
     const double* r = src.row(std::min(p + S, height() - 1 + S));
-    for (int i = 0; i < 4; ++i) simd::prefetch_read(r + i * 8);
+    for (int i = 0; i < lines; ++i) simd::prefetch_read(r + i * 8);
   }
 
   const Grid2D<double>& grid_at(int t) const { return buf_[t & 1]; }
@@ -96,7 +98,125 @@ class ConstStar2D {
     span<simd::ScalarD>(t, y, x0, x1);
   }
 
+  /// Non-temporal write-back path: same arithmetic as process_row, stores
+  /// stream past the cache (simd::NtVecD). Caller must store_fence() before
+  /// publishing (see wave engine).
+  void process_row_nt(int t, int y, int x0, int x1) {
+    const int x = span<simd::NtVecD>(t, y, x0, x1);
+    span<simd::ScalarD>(t, y, x, x1);
+  }
+
+  /// Register-tiled temporal micro-kernel (src/wave): sweep n <= 4 rows at
+  /// consecutive timesteps in x-staggered lockstep. Weights are broadcast
+  /// and row pointers resolved once for the whole group; the chunked
+  /// diagonal order below keeps stage g at least one chunk (>= S points)
+  /// ahead of stage g+1, which covers both the flow dependence (stage g+1
+  /// reads stage g's row at x +- S) and the WAR hazard (stage g+1 overwrites
+  /// the t-1 parity row that stage g still reads) — see
+  /// wave/microkernel.hpp for the stagger proof. Bit-exact with n separate
+  /// process_row calls: every point sees the identical operation tree.
+  void process_stages(const WaveStage* st, int n) {
+    using V = simd::VecD;
+    // Chunk width: several vectors (amortizes the stage switch), and always
+    // >= S so the diagonal stagger satisfies the slope-S dependences.
+    constexpr int kChunk =
+        kWaveChunkVecs * V::width >= S
+            ? kWaveChunkVecs * V::width
+            : ((S + V::width - 1) / V::width) * V::width;
+    struct Stage {
+      const double* c;
+      double* o;
+      const double* rm[S];
+      const double* rp[S];
+      int x0, x1;
+      bool nt;
+    };
+    Stage sg[kMaxStages];
+    int base = st[0].x0;
+    int hi = st[0].x1;
+    for (int g = 0; g < n; ++g) {
+      const Grid2D<double>& src = buf_[(st[g].t - 1) & 1];
+      Grid2D<double>& dst = buf_[st[g].t & 1];
+      Stage& s = sg[g];
+      s.c = src.row(st[g].y);
+      s.o = dst.row(st[g].y);
+      for (int k = 0; k < S; ++k) {
+        s.rm[k] = src.row(st[g].y - (k + 1));
+        s.rp[k] = src.row(st[g].y + (k + 1));
+      }
+      s.x0 = st[g].x0;
+      s.x1 = st[g].x1;
+      s.nt = st[g].nt;
+      base = std::min(base, st[g].x0);
+      hi = std::max(hi, st[g].x1);
+    }
+    const V wc = V::broadcast(w_.center);
+    V wxm[S], wxp[S], wym[S], wyp[S];
+    for (int k = 0; k < S; ++k) {
+      wxm[k] = V::broadcast(w_.xm[static_cast<std::size_t>(k)]);
+      wxp[k] = V::broadcast(w_.xp[static_cast<std::size_t>(k)]);
+      wym[k] = V::broadcast(w_.ym[static_cast<std::size_t>(k)]);
+      wyp[k] = V::broadcast(w_.yp[static_cast<std::size_t>(k)]);
+    }
+    const int chunks = (hi - base + kChunk - 1) / kChunk;
+    for (int j = 0; j < chunks + n - 1; ++j) {
+      for (int g = 0; g < n; ++g) {
+        const int ci = j - g;
+        if (ci < 0 || ci >= chunks) continue;
+        const Stage& s = sg[g];
+        const int a = std::max(s.x0, base + ci * kChunk);
+        const int b = std::min(s.x1, base + (ci + 1) * kChunk);
+        if (a >= b) continue;
+        if (s.nt) {
+          stage_chunk<true>(s, a, b, wc, wxm, wxp, wym, wyp);
+        } else {
+          stage_chunk<false>(s, a, b, wc, wxm, wxp, wym, wyp);
+        }
+      }
+    }
+  }
+
  private:
+  static constexpr int kMaxStages = 4;
+
+  /// One x-chunk of one stage: the vector body of span<VecD> with hoisted
+  /// weights, plus the ScalarD tail for the chunk's ragged end. NT selects
+  /// the streaming store (aligned fast path, plain store otherwise).
+  template <bool NT, class Stage>
+  void stage_chunk(const Stage& s, int a, int b, simd::VecD wc,
+                   const simd::VecD* wxm, const simd::VecD* wxp,
+                   const simd::VecD* wym, const simd::VecD* wyp) {
+    using V = simd::VecD;
+    int x = a;
+    for (; x + V::width <= b; x += V::width) {
+      V acc = wc * V::load(s.c + x);
+      for (int k = 0; k < S; ++k) {
+        acc = V::fma(wxm[k], V::load(s.c + x - (k + 1)), acc);
+        acc = V::fma(wxp[k], V::load(s.c + x + (k + 1)), acc);
+        acc = V::fma(wym[k], V::load(s.rm[k] + x), acc);
+        acc = V::fma(wyp[k], V::load(s.rp[k] + x), acc);
+      }
+      if constexpr (NT) {
+        simd::NtVecD{acc}.store(s.o + x);
+      } else {
+        acc.store(s.o + x);
+      }
+    }
+    using Sc = simd::ScalarD;
+    const Sc sc = Sc::broadcast(w_.center);
+    for (; x < b; ++x) {
+      Sc acc = sc * Sc::load(s.c + x);
+      for (int k = 0; k < S; ++k) {
+        const auto i = static_cast<std::size_t>(k);
+        acc = Sc::fma(Sc::broadcast(w_.xm[i]), Sc::load(s.c + x - (k + 1)), acc);
+        acc = Sc::fma(Sc::broadcast(w_.xp[i]), Sc::load(s.c + x + (k + 1)), acc);
+        acc = Sc::fma(Sc::broadcast(w_.ym[i]), Sc::load(s.rm[k] + x), acc);
+        acc = Sc::fma(Sc::broadcast(w_.yp[i]), Sc::load(s.rp[k] + x), acc);
+      }
+      acc.store(s.o + x);
+    }
+  }
+
   /// Process x in [x0, x1) in V-width steps; returns the first unprocessed x.
   template <class V>
   int span(int t, int y, int x0, int x1) {

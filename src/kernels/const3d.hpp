@@ -23,6 +23,10 @@ class ConstStar3D {
  public:
   static constexpr int kPoints = 6 * S + 1;
 
+  /// Engine-side temporal fusion is legal: all reads lie in the slope-S box
+  /// at t-1 (wave/microkernel.hpp stagger proof).
+  static constexpr bool wave_fusable = true;
+
   struct Weights {
     double center = 0.0;
     std::array<double, S> xm{}, xp{}, ym{}, yp{}, zm{}, zp{};
@@ -66,12 +70,13 @@ class ConstStar3D {
                       });
   }
 
-  /// Leading-edge hint: start the next source plane's first rows (the
-  /// wavefront sweeps +z); the hardware prefetcher continues each stream.
-  void prefetch_front(int t, int p) const {
+  /// Leading-edge hint: start `lines` cache lines of the next source plane's
+  /// first rows (the wavefront sweeps +z); the hardware prefetcher continues
+  /// each stream.
+  void prefetch_front(int t, int p, int lines) const {
     const Grid3D<double>& src = buf_[(t - 1) & 1];
     const double* r = src.row(0, std::min(p + S, depth() - 1 + S));
-    for (int i = 0; i < 4; ++i) simd::prefetch_read(r + i * 8);
+    for (int i = 0; i < lines; ++i) simd::prefetch_read(r + i * 8);
   }
 
   const Grid3D<double>& grid_at(int t) const { return buf_[t & 1]; }
@@ -93,6 +98,16 @@ class ConstStar3D {
 
   void process_row_scalar(int t, int y, int z, int x0, int x1) {
     span<simd::ScalarD>(t, y, z, x0, x1);
+  }
+
+  /// Non-temporal write-back path: same arithmetic as process_row, stores
+  /// stream past the cache (the 3D micro-kernel specialization — 3D
+  /// temporal fusion interleaves whole rows engine-side, so the NT store is
+  /// the only per-kernel piece). Caller must store_fence() before
+  /// publishing.
+  void process_row_nt(int t, int y, int z, int x0, int x1) {
+    const int x = span<simd::NtVecD>(t, y, z, x0, x1);
+    span<simd::ScalarD>(t, y, z, x, x1);
   }
 
  private:

@@ -10,12 +10,30 @@
 // slab enumeration and the sync edges are the plan's, executing a plan is
 // exactly what the verifier reasons about (plan/verify.hpp).
 //
-// Synchronization objects mirror the schemes: one ProgressCell per worker
+// Each worker runs a private *copy* of the slab callback, so stateful
+// walkers (the wave engine's fusion/NT state, src/wave/engine.hpp) need no
+// sharing discipline; callbacks exposing end_tile() are notified after each
+// tile's slabs, before the tile publishes — the flush/fence point.
+//
+// Intra-tile teams (wave engine): when wave_team_width() resolves m > 1,
+// every plan-level owner ("team") is backed by m workers. Members split each
+// slab's y-rows and meet at a per-team barrier on every slab entry, so
+// member k never starts slab j+1 before all members finished slab j — the
+// same happens-before the single-owner slab order gave, which is why the
+// plan (and its verifier) stay team-width-agnostic. Only the team lead
+// (member 0) performs the tile's edge waits and publishes; the slab-entry
+// barrier of the first slab propagates the acquired edges to the members,
+// and one barrier after the tile's last slab (after end_tile, so members'
+// NT stores are fenced) orders every member's work before the publish.
+//
+// Synchronization objects mirror the schemes: one ProgressCell per team
 // (CATS1 split-tiling), one DoneFlag per tile (CATS2/3 diamonds), one
-// SpinBarrier for phase boundaries. All are created only when the plan uses
-// them.
+// SpinBarrier over all workers for phase boundaries, one TeamBarrier per
+// team. All are created only when the plan uses them.
 
+#include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "check/oracle.hpp"
@@ -24,6 +42,7 @@
 #include "plan/plan.hpp"
 #include "threads/barrier.hpp"
 #include "threads/progress.hpp"
+#include "threads/team_barrier.hpp"
 #include "threads/thread_pool.hpp"
 
 namespace cats::plan_ir {
@@ -50,20 +69,46 @@ struct EdgeIndex {
   }
 };
 
+/// Walkers with per-tile state (wave engine) flush it here; plain lambdas
+/// need nothing.
+template <class F>
+inline void finish_tile(F& f) {
+  if constexpr (requires { f.end_tile(); }) f.end_tile();
+}
+
+/// Member's share of a slab: rows [ylo, yhi] block-partitioned over the m
+/// team members (first `rem` members get one extra row). Returns false for
+/// an empty share.
+inline bool member_slab(const Slab& sl, int member, int m, Slab& out) {
+  const std::int64_t rows = sl.box.yhi - sl.box.ylo + 1;
+  const std::int64_t per = rows / m;
+  const std::int64_t rem = rows % m;
+  const std::int64_t lo =
+      sl.box.ylo + member * per + std::min<std::int64_t>(member, rem);
+  const std::int64_t cnt = per + (member < rem ? 1 : 0);
+  if (cnt <= 0) return false;
+  out = sl;
+  out.box.ylo = lo;
+  out.box.yhi = lo + cnt - 1;
+  return true;
+}
+
 }  // namespace detail
 
-/// Execute `plan`, invoking slab_fn(const Slab&) for every slab, on the
-/// plan's thread count. slab_fn runs on the owning worker thread with the
-/// dependence oracle (opt.oracle) already bound, so kernels report rows the
-/// usual way via check::note_row.
+/// Execute `plan`, invoking a per-worker copy of slab_fn(const Slab&) for
+/// every slab, on plan.threads teams of wave_team_width() workers each.
+/// slab_fn runs on a worker thread with the dependence oracle (opt.oracle)
+/// already bound, so kernels report rows the usual way via check::note_row.
 template <class SlabFn>
 void execute_plan(const TilePlan& plan, const RunOptions& opt,
                   SlabFn&& slab_fn) {
   const int P = plan.threads;
+  const int m = wave_team_width(plan.dims, plan.scheme, opt);
+  const int W = P * m;
   RunStats* stats = opt.stats;
 
   // Per-owner tile order: the plan's tile order restricted to one owner IS
-  // that worker's program order.
+  // that team's program order.
   std::vector<std::vector<std::int32_t>> order(static_cast<std::size_t>(P));
   bool any_done = false, any_progress = false;
   for (std::size_t i = 0; i < plan.tiles.size(); ++i) {
@@ -74,14 +119,19 @@ void execute_plan(const TilePlan& plan, const RunOptions& opt,
   }
   const detail::EdgeIndex in(plan);
 
-  ThreadPool pool(P, opt.affinity);
-  SpinBarrier bar(P);
+  ThreadPool pool(W, opt.affinity);
+  SpinBarrier bar(W);
+  std::deque<TeamBarrier> team_bar;
+  for (int i = 0; m > 1 && i < P; ++i) team_bar.emplace_back(m);
   std::vector<ProgressCell> progress(any_progress ? static_cast<std::size_t>(P)
                                                   : 0);
   std::vector<DoneFlag> done(any_done ? plan.tiles.size() : 0);
 
-  pool.run([&](int tid) {
-    const check::ScopedOracleThread oracle_bind(opt.oracle, tid);
+  pool.run([&](int wid) {
+    const int tid = wid / m;     // team == plan-level owner
+    const int member = wid % m;  // 0 == team lead
+    const check::ScopedOracleThread oracle_bind(opt.oracle, wid);
+    auto fn = slab_fn;  // worker-private walker state (fusion buffers, ...)
     std::int64_t local_spins = 0, local_events = 0, local_ns = 0,
                  local_tiles = 0, local_barriers = 0;
     const std::vector<std::int32_t>& mine =
@@ -92,33 +142,55 @@ void execute_plan(const TilePlan& plan, const RunOptions& opt,
              plan.tiles[static_cast<std::size_t>(mine[next])].phase == phase) {
         const std::int32_t idx = mine[next];
         const Tile& tile = plan.tiles[static_cast<std::size_t>(idx)];
-        WaitResult w;
-        for (std::int32_t ei = in.offsets[static_cast<std::size_t>(idx)];
-             ei < in.offsets[static_cast<std::size_t>(idx) + 1]; ++ei) {
-          const SyncEdge& e =
-              plan.edges[static_cast<std::size_t>(in.edge_ids[static_cast<std::size_t>(ei)])];
-          WaitResult a;
-          if (e.kind == SyncEdge::Kind::Done) {
-            a = done[static_cast<std::size_t>(e.from)].wait();
-          } else {
-            const std::int32_t from_owner =
-                plan.tiles[static_cast<std::size_t>(e.from)].owner;
-            a = progress[static_cast<std::size_t>(from_owner)].wait_ge(e.value);
+        if (member == 0) {
+          WaitResult w;
+          for (std::int32_t ei = in.offsets[static_cast<std::size_t>(idx)];
+               ei < in.offsets[static_cast<std::size_t>(idx) + 1]; ++ei) {
+            const SyncEdge& e =
+                plan.edges[static_cast<std::size_t>(in.edge_ids[static_cast<std::size_t>(ei)])];
+            WaitResult a;
+            if (e.kind == SyncEdge::Kind::Done) {
+              a = done[static_cast<std::size_t>(e.from)].wait();
+            } else {
+              const std::int32_t from_owner =
+                  plan.tiles[static_cast<std::size_t>(e.from)].owner;
+              a = progress[static_cast<std::size_t>(from_owner)].wait_ge(e.value);
+            }
+            w.spins += a.spins;
+            w.ns += a.ns;
           }
-          w.spins += a.spins;
-          w.ns += a.ns;
+          if (w.spins > 0) {
+            ++local_events;
+            local_spins += w.spins;
+            local_ns += w.ns;
+          }
         }
-        if (w.spins > 0) {
-          ++local_events;
-          local_spins += w.spins;
-          local_ns += w.ns;
+        if (m == 1) {
+          for_each_slab(plan, tile, fn);
+          detail::finish_tile(fn);
+        } else {
+          // All members run the identical slab enumeration, so their
+          // barrier counts always match (empty shares still arrive). The
+          // first slab's barrier releases the lead's acquired edge waits to
+          // the members.
+          TeamBarrier& tb = team_bar[static_cast<std::size_t>(tid)];
+          for_each_slab(plan, tile, [&](const Slab& sl) {
+            tb.arrive_and_wait();
+            ++local_barriers;
+            Slab part;
+            if (detail::member_slab(sl, member, m, part)) fn(part);
+          });
+          detail::finish_tile(fn);  // members fence own NT stores first
+          tb.arrive_and_wait();     // every member done before the publish
+          ++local_barriers;
         }
-        for_each_slab(plan, tile, slab_fn);
-        if (tile.publishes_progress) {
-          progress[static_cast<std::size_t>(tid)].publish(tile.u);
+        if (member == 0) {
+          if (tile.publishes_progress) {
+            progress[static_cast<std::size_t>(tid)].publish(tile.u);
+          }
+          if (tile.publishes_done) done[static_cast<std::size_t>(idx)].set();
+          if (tile.first_in_group) ++local_tiles;
         }
-        if (tile.publishes_done) done[static_cast<std::size_t>(idx)].set();
-        if (tile.first_in_group) ++local_tiles;
         ++next;
       }
       switch (plan.phase_sync) {
@@ -133,7 +205,7 @@ void execute_plan(const TilePlan& plan, const RunOptions& opt,
           // starts (two barriers so no thread can observe a stale counter
           // from the previous phase).
           bar.arrive_and_wait();
-          if (!progress.empty()) {
+          if (!progress.empty() && member == 0) {
             progress[static_cast<std::size_t>(tid)].reset();
           }
           bar.arrive_and_wait();

@@ -1,0 +1,83 @@
+#pragma once
+// Sense-reversing barrier for one intra-tile *team* (wave engine).
+//
+// CATS1/CATS2 3-D tiles can be wide enough in y that one thread per tile
+// leaves the wavefront's cache-resident working set underused. The wave
+// engine (src/wave) splits such a tile's slabs across a small team of m
+// workers; the team crosses this barrier at every slab boundary so that a
+// member never starts slab k+1 before every member has finished slab k —
+// exactly the happens-before the single-threaded slab order provided.
+//
+// Differences from SpinBarrier (threads/barrier.hpp):
+//   * Instantiated per team and crossed once per *slab*, not once per chunk,
+//     so the hot fields are cache-line padded against false sharing between
+//     neighbouring teams in a vector of barriers.
+//   * m == 1 degenerates to a no-op (no atomics, no observer edges): a
+//     one-member team is the classic per-tile executor and needs no intra-
+//     tile ordering beyond program order.
+//
+// The observer hooks make the barrier SyncEdge-compatible for the
+// dependence oracle (src/check): a crossing is an all-to-all edge among the
+// team's members, reported exactly like SpinBarrier's phase barrier, so
+// oracle runs see every intra-team happens-before edge the schedule relies
+// on.
+
+#include <atomic>
+#include <thread>
+
+#include "threads/cpu_pause.hpp"
+#include "threads/sync_observer.hpp"
+
+namespace cats {
+
+class TeamBarrier {
+ public:
+  explicit TeamBarrier(int participants) : n_(participants) {}
+
+  TeamBarrier(const TeamBarrier&) = delete;
+  TeamBarrier& operator=(const TeamBarrier&) = delete;
+
+  int participants() const noexcept { return n_; }
+
+  void arrive_and_wait() {
+    if (n_ <= 1) return;  // degenerate team: program order suffices
+    SyncObserver* const obs = sync_observer();
+    if (obs) obs->on_barrier_arrive(this);
+    // order: relaxed — own thread observed sense_ last round; ordering comes
+    // from the acq_rel arrival below and the release/acquire on sense_.
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    // order: acq_rel — every arrival joins the prior arrivals' writes so the
+    // last arriver's sense_ release publishes all pre-barrier effects.
+    if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
+      // order: relaxed — only the last arriver writes; next round's arrivals
+      // are ordered behind the sense_ release below.
+      count_.store(0, std::memory_order_relaxed);
+      // order: release — pairs with the acquire spin; departing waiters see
+      // all pre-barrier writes.
+      sense_.store(my_sense, std::memory_order_release);
+      if (obs) obs->on_barrier_leave(this);
+      return;
+    }
+    int spins = 0, exponent = 0;
+    // order: acquire — pairs with the last arriver's release of sense_.
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (++spins > kSpinLimit) {
+        std::this_thread::yield();
+      } else {
+        backoff_pause(exponent);
+      }
+    }
+    if (obs) obs->on_barrier_leave(this);
+  }
+
+ private:
+  // Slab barriers are crossed orders of magnitude more often than phase
+  // barriers; keep the spin short — a team's members finish their row spans
+  // within a few microseconds of each other by construction.
+  static constexpr int kSpinLimit = 1024;
+  const int n_;
+  alignas(64) std::atomic<int> count_{0};
+  alignas(64) std::atomic<bool> sense_{false};
+};
+
+}  // namespace cats

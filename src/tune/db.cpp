@@ -71,6 +71,12 @@ bool TuneDb::load(const std::string& path) {
     r.entry.bx = e.get_int("bx");
     r.entry.run_threads = static_cast<int>(e.get_int("run_threads"));
     r.entry.affinity = e.get_string("affinity");  // absent in pre-affinity DBs
+    // Wave knobs: absent in pre-wave DBs — the defaults mean "keep the
+    // caller's value", so old files stay fully usable.
+    r.entry.nt_stores = static_cast<int>(e.get_int("nt_stores", -1));
+    r.entry.unroll_t = static_cast<int>(e.get_int("unroll_t", -1));
+    r.entry.team_size = static_cast<int>(e.get_int("team_size", 0));
+    r.entry.prefetch_dist = static_cast<int>(e.get_int("prefetch_dist", -1));
     r.entry.pilot_seconds = e.get_number("pilot_seconds");
     r.entry.analytic_seconds = e.get_number("analytic_seconds");
     r.entry.cache_bytes = static_cast<std::size_t>(e.get_int("cache_bytes"));
@@ -103,6 +109,10 @@ bool TuneDb::save(const std::string& path) const {
        << "\"bx\": " << r.entry.bx << ", "
        << "\"run_threads\": " << r.entry.run_threads << ", "
        << "\"affinity\": " << json_quote(r.entry.affinity) << ", "
+       << "\"nt_stores\": " << r.entry.nt_stores << ", "
+       << "\"unroll_t\": " << r.entry.unroll_t << ", "
+       << "\"team_size\": " << r.entry.team_size << ", "
+       << "\"prefetch_dist\": " << r.entry.prefetch_dist << ", "
        << "\"pilot_seconds\": " << json_number(r.entry.pilot_seconds) << ", "
        << "\"analytic_seconds\": " << json_number(r.entry.analytic_seconds) << ", "
        << "\"cache_bytes\": " << r.entry.cache_bytes << ", "

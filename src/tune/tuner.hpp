@@ -31,10 +31,15 @@ struct TuneConfig {
   bool cross_scheme = true;      ///< also try the neighboring CATS scheme
   bool tune_threads = true;      ///< re-time the winner at threads/2
   bool tune_affinity = true;     ///< re-time the winner under each pin policy
+  bool tune_wave = true;         ///< re-time the winner along the wave axes
+                                 ///< (nt_stores / unroll_t / team_size /
+                                 ///< prefetch_dist, src/wave)
 };
 
 /// One point of the search grid. `threads` 0 = the caller's thread count;
-/// `affinity` -1 = the caller's policy, else an AffinityPolicy value.
+/// `affinity` -1 = the caller's policy, else an AffinityPolicy value. The
+/// wave-engine axes follow the same convention: negative (or 0 for
+/// team_size) = keep the caller's RunOptions value.
 struct Candidate {
   Scheme scheme = Scheme::Auto;
   int tz = 0;
@@ -42,6 +47,10 @@ struct Candidate {
   std::int64_t bx = 0;
   int threads = 0;
   int affinity = -1;
+  int nt_stores = -1;      ///< -1 caller's; 0 off; 1 on
+  int unroll_t = -1;       ///< -1 caller's; else RunOptions::unroll_t
+  int team_size = 0;       ///< 0 caller's; else RunOptions::team_size
+  int prefetch_dist = -1;  ///< -1 caller's; else RunOptions::prefetch_dist
 };
 
 struct Measured {
@@ -154,6 +163,49 @@ TuneResult search(MakeKernel&& make, int T, const RunOptions& base,
       }
     }
 
+    // Wave-engine axes (src/wave): re-time the winner with each knob moved
+    // off its base value, one at a time — the axes are near-independent
+    // (NT stores trade RFO traffic, temporal unroll trades loads, teams
+    // trade tile-width parallelism), so a coordinate sweep recovers most of
+    // the joint optimum at a fraction of the grid cost. Each probe sticks
+    // only if it wins.
+    if (cfg.tune_wave && budget.seconds() <= cfg.budget_seconds) {
+      auto probe = [&](Candidate c) {
+        if (budget.seconds() > cfg.budget_seconds) return;
+        const double secs = time_candidate(c);
+        res.all.push_back({c, secs});
+        if (secs < res.best_seconds) {
+          res.best = c;
+          res.best_seconds = secs;
+        }
+      };
+      {
+        Candidate c = res.best;
+        c.nt_stores = base.nt_stores ? 0 : 1;
+        probe(c);
+      }
+      for (int u : {1, 2, 4}) {
+        if (u == (base.unroll_t == 0 ? 4 : base.unroll_t)) continue;
+        Candidate c = res.best;
+        c.unroll_t = u;
+        probe(c);
+      }
+      if (d.dims == 3 && opt.threads > 1) {
+        for (int ts : {2, 4}) {
+          if (ts > opt.threads || ts == base.team_size) continue;
+          Candidate c = res.best;
+          c.team_size = ts;
+          probe(c);
+        }
+      }
+      for (int pf : {0, 8}) {
+        if (pf == base.prefetch_dist) continue;
+        Candidate c = res.best;
+        c.prefetch_dist = pf;
+        probe(c);
+      }
+    }
+
     res.key.machine = bench::machine_fingerprint();
     res.key.kernel = kernel_tuning_id(k0);
     res.key.scheme_key = "auto";
@@ -170,6 +222,10 @@ TuneResult search(MakeKernel&& make, int T, const RunOptions& base,
       res.best.affinity < 0
           ? ""
           : affinity_policy_name(static_cast<AffinityPolicy>(res.best.affinity));
+  res.entry.nt_stores = res.best.nt_stores;
+  res.entry.unroll_t = res.best.unroll_t;
+  res.entry.team_size = res.best.team_size;
+  res.entry.prefetch_dist = res.best.prefetch_dist;
   res.entry.pilot_seconds = res.best_seconds;
   res.entry.analytic_seconds = res.analytic_seconds;
   res.entry.cache_bytes = base.cache_bytes;

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare two bench_suite reports (BENCH_5.json) and fail on perf regression.
+
+Usage: bench_compare.py BASELINE.json NEW.json [--tolerance 0.15]
+
+Both files are `bench_suite --json` outputs: one table of
+(kernel, config, secs, MLUP/s, model B/pt, scheme) rows at a pinned size.
+
+Raw MLUP/s is not comparable across machines (or across CI runners), so each
+row is first normalized by the same file's naive row for that kernel —
+"CATS2+wave is 2.1x naive" is a property of the code, not the machine. A row
+regresses when its normalized throughput drops more than --tolerance (15%
+default) below the baseline. The model B/pt column is compared exactly
+(tolerance 1%): the analytic traffic model is deterministic, so any drift
+there is a real accounting change, not noise.
+
+Exit status: 0 clean, 1 regression(s), 2 malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """-> {(kernel, config): (mlups, model_bpp)}"""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for table in doc.get("tables", []):
+        headers = table.get("headers", [])
+        if "MLUP/s" not in headers or "config" not in headers:
+            continue
+        ik = headers.index("kernel")
+        ic = headers.index("config")
+        im = headers.index("MLUP/s")
+        ib = headers.index("model B/pt")
+        rows = {}
+        for r in table.get("rows", []):
+            rows[(r[ik], r[ic])] = (float(r[im]), float(r[ib]))
+        if rows:
+            return rows
+    print(f"bench_compare: no bench_suite table in {path}", file=sys.stderr)
+    sys.exit(2)
+
+
+def normalized(rows):
+    """MLUP/s of each row divided by its kernel's naive row (1.0 if absent)."""
+    out = {}
+    for (kernel, config), (mlups, bpp) in rows.items():
+        naive = rows.get((kernel, "naive"), (0.0, 0.0))[0]
+        out[(kernel, config)] = (mlups / naive if naive > 0 else 0.0, bpp)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drop in normalized MLUP/s")
+    args = ap.parse_args()
+
+    base = normalized(load_rows(args.baseline))
+    new = normalized(load_rows(args.new))
+
+    failures = []
+    print(f"{'kernel':<10} {'config':<12} {'base(rel)':>10} {'new(rel)':>10} "
+          f"{'delta':>8}  {'B/pt':>6}")
+    for key in sorted(base):
+        if key not in new:
+            failures.append(f"{key[0]}/{key[1]}: row missing from new report")
+            continue
+        b_rel, b_bpp = base[key]
+        n_rel, n_bpp = new[key]
+        delta = (n_rel - b_rel) / b_rel if b_rel > 0 else 0.0
+        flag = ""
+        if b_rel > 0 and n_rel < b_rel * (1.0 - args.tolerance):
+            failures.append(
+                f"{key[0]}/{key[1]}: normalized MLUP/s {n_rel:.3f} < "
+                f"{b_rel:.3f} - {args.tolerance:.0%}")
+            flag = "  << REGRESSION"
+        if b_bpp > 0 and abs(n_bpp - b_bpp) / b_bpp > 0.01:
+            failures.append(
+                f"{key[0]}/{key[1]}: model B/pt changed {b_bpp} -> {n_bpp}")
+            flag = "  << MODEL CHANGE"
+        print(f"{key[0]:<10} {key[1]:<12} {b_rel:>10.3f} {n_rel:>10.3f} "
+              f"{delta:>+7.1%}  {n_bpp:>6.2f}{flag}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
