@@ -8,6 +8,7 @@
 // everything else lives here.
 
 #include <cstddef>
+#include <vector>
 
 #include "sysinfo/topology.hpp"  // AffinityPolicy
 
@@ -111,6 +112,20 @@ struct RunOptions {
   /// Cache lines software-prefetched at the wavefront's leading edge
   /// (kernel prefetch_front hint distance). 0 disables the hint.
   int prefetch_dist = 4;
+
+  /// Tenants co-resident on this run's cache (stencil service, src/serve):
+  /// Eq. 1/2 size tiles against the *partitioned* cache share Z/cache_tenants
+  /// so concurrent jobs batched onto one shard do not evict each other's
+  /// wavefronts. 1 (default) = the run owns the whole private cache. The
+  /// emitted plan records the divisor and the verifier certifies residency
+  /// at the reduced Z (plan/plan.hpp, plan/verify.hpp).
+  int cache_tenants = 1;
+
+  /// Explicit logical-CPU pin order for shard-constrained runs (src/serve):
+  /// worker tid is bound to pin_cpus[tid % size]. Overrides `affinity` when
+  /// non-null and non-empty; the pointee must outlive the run. Degrades to
+  /// unpinned exactly like the policy path when sched_setaffinity fails.
+  const std::vector<int>* pin_cpus = nullptr;
 
   /// Empirical-tuning policy; Off keeps selection purely analytic.
   Tuning tuning = Tuning::Off;

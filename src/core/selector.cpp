@@ -63,8 +63,14 @@ std::int64_t compute_bz3(std::size_t cache_bytes, const KernelCosts& k) {
 }
 
 std::size_t resolve_cache_bytes(const RunOptions& opt) {
-  if (opt.cache_bytes) return opt.cache_bytes;
-  return detect_cache_info().last_private_bytes();
+  const std::size_t z =
+      opt.cache_bytes ? opt.cache_bytes : detect_cache_info().last_private_bytes();
+  // Multi-tenant cache partitioning (src/serve): co-resident jobs batched
+  // onto one shard size their tiles against an equal share of Z so their
+  // wavefronts stay resident under contention. A share too small for even a
+  // minimal diamond degrades to the naive fallback like any degenerate Z.
+  const int tenants = opt.cache_tenants > 1 ? opt.cache_tenants : 1;
+  return z / static_cast<std::size_t>(tenants);
 }
 
 SchemeChoice select_scheme(const DomainShape& d, const KernelCosts& k,

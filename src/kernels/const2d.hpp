@@ -58,15 +58,15 @@ class ConstStar2D {
   template <class F>
   void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
     const int W = width();
-    first_touch_slabs(height(), S, opt.threads, opt.affinity,
-                      [&](int, int y0, int y1) {
-                        buf_[0].fill_rows(y0, y1, bnd);
-                        buf_[1].fill_rows(y0, y1, bnd);
-                        for (int y = std::max(y0, 0);
-                             y < std::min(y1, height()); ++y)
-                          for (int x = 0; x < W; ++x)
-                            buf_[0].at(x, y) = f(x, y);
-                      });
+    first_touch_slabs(
+        height(), S, opt.threads, opt.affinity,
+        [&](int, int y0, int y1) {
+          buf_[0].fill_rows(y0, y1, bnd);
+          buf_[1].fill_rows(y0, y1, bnd);
+          for (int y = std::max(y0, 0); y < std::min(y1, height()); ++y)
+            for (int x = 0; x < W; ++x) buf_[0].at(x, y) = f(x, y);
+        },
+        opt.pin_cpus);
   }
 
   /// Leading-edge hint (see kernel_has_prefetch_front): start `lines` cache

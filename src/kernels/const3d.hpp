@@ -58,16 +58,16 @@ class ConstStar3D {
   template <class F>
   void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
     const int W = width(), H = height();
-    first_touch_slabs(depth(), S, opt.threads, opt.affinity,
-                      [&](int, int z0, int z1) {
-                        buf_[0].fill_slabs(z0, z1, bnd);
-                        buf_[1].fill_slabs(z0, z1, bnd);
-                        for (int z = std::max(z0, 0);
-                             z < std::min(z1, depth()); ++z)
-                          for (int y = 0; y < H; ++y)
-                            for (int x = 0; x < W; ++x)
-                              buf_[0].at(x, y, z) = f(x, y, z);
-                      });
+    first_touch_slabs(
+        depth(), S, opt.threads, opt.affinity,
+        [&](int, int z0, int z1) {
+          buf_[0].fill_slabs(z0, z1, bnd);
+          buf_[1].fill_slabs(z0, z1, bnd);
+          for (int z = std::max(z0, 0); z < std::min(z1, depth()); ++z)
+            for (int y = 0; y < H; ++y)
+              for (int x = 0; x < W; ++x) buf_[0].at(x, y, z) = f(x, y, z);
+        },
+        opt.pin_cpus);
   }
 
   /// Leading-edge hint: start `lines` cache lines of the next source plane's

@@ -419,8 +419,13 @@ TilePlan emit_plan(const PlanRequest& rq) {
       break;
   }
 
+  // resolve_cache_bytes already divides Z by opt.cache_tenants (multi-tenant
+  // shard batching, src/serve); the plan records both the partitioned share
+  // and the divisor so the residency certificate is explicit about the
+  // contended budget it certifies.
   const std::size_t z = resolve_cache_bytes(rq.opt);
   p.cache_bytes = z;
+  p.cache_tenants = rq.opt.cache_tenants > 1 ? rq.opt.cache_tenants : 1;
   p.cs_eff = rq.cs_eff;
   p.elem_bytes = rq.elem_bytes;
   switch (choice.scheme) {

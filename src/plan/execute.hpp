@@ -119,7 +119,7 @@ void execute_plan(const TilePlan& plan, const RunOptions& opt,
   }
   const detail::EdgeIndex in(plan);
 
-  ThreadPool pool(W, opt.affinity);
+  ThreadPool pool(W, opt.affinity, nullptr, opt.pin_cpus);
   SpinBarrier bar(W);
   std::deque<TeamBarrier> team_bar;
   for (int i = 0; m > 1 && i < P; ++i) team_bar.emplace_back(m);

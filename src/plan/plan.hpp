@@ -158,6 +158,11 @@ struct TilePlan {
   double elem_bytes = 8.0;
   bool certify_residency = false;
   bool clamped = false;
+  /// Tenants co-resident on the cache this plan was sized for (src/serve
+  /// batching): cache_bytes above is already the *partitioned* share
+  /// Z_full/cache_tenants, so the residency certificate holds under
+  /// contention. 1 = the run owns the whole private cache.
+  int cache_tenants = 1;
 
   std::vector<Tile> tiles;
   std::vector<SyncEdge> edges;

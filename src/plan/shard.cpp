@@ -1,0 +1,360 @@
+#include "plan/shard.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "check/check.hpp"
+
+namespace cats::plan_ir {
+
+namespace {
+
+/// Append the standard neighbor waits of one step. `bound` is block + 1.
+void wait_neighbors(std::vector<ShardWait>& out, ShardCell cell, int shard,
+                    int shards, std::int64_t bound) {
+  if (shard > 0) out.push_back({cell, shard - 1, bound});
+  if (shard + 1 < shards) out.push_back({cell, shard + 1, bound});
+}
+
+}  // namespace
+
+int max_feasible_shards(std::int64_t extent, int slope) {
+  CATS_CHECK(extent >= 1 && slope >= 1,
+             "max_feasible_shards extent=%lld slope=%d",
+             static_cast<long long>(extent), slope);
+  // Every shard must own >= 2*slope rows so even the minimum block (tb = 2)
+  // finds its halo inside the immediate neighbor.
+  const std::int64_t cap = extent / std::max<std::int64_t>(2 * slope, 1);
+  return static_cast<int>(std::max<std::int64_t>(1, cap));
+}
+
+ShardSchedule emit_shard_schedule(std::int64_t extent, int shards, int T,
+                                  int slope, int max_block) {
+  CATS_CHECK(extent >= 1 && T >= 0 && slope >= 1 && shards >= 1,
+             "emit_shard_schedule extent=%lld shards=%d T=%d slope=%d",
+             static_cast<long long>(extent), shards, T, slope);
+  ShardSchedule s;
+  s.extent = extent;
+  s.T = T;
+  s.slope = slope;
+
+  const int S = std::min(shards, max_feasible_shards(extent, slope));
+  for (int i = 0; i < S; ++i) {
+    s.owned.push_back({extent * i / S, extent * (i + 1) / S});
+  }
+
+  // Block depth: even (each block's run() starts and ends on buffer parity
+  // 0) and small enough that the halo fits the smallest shard. The last
+  // block absorbs any odd remainder of T.
+  std::int64_t min_rows = extent;
+  for (const ShardDomain& d : s.owned) min_rows = std::min(min_rows, d.rows());
+  int tb = max_block > 0 ? max_block : 8;
+  tb -= tb & 1;
+  tb = std::max(tb, 2);
+  while (tb > 2 && static_cast<std::int64_t>(slope) * tb > min_rows) tb -= 2;
+  if (S == 1) tb = std::max(T, 1);  // single shard: one block, no halo
+
+  int left = T;
+  while (left > 0) {
+    const int step = std::min(left, tb);
+    // All blocks but the last must be even; `tb` is even, so only a final
+    // odd remainder can produce an odd block — which is exactly the
+    // permitted place for it.
+    s.block_steps.push_back(step);
+    left -= step;
+  }
+  if (s.block_steps.empty()) s.block_steps.push_back(0);  // T == 0: no-op run
+
+  int tb_max = 0;
+  for (int b : s.block_steps) tb_max = std::max(tb_max, b);
+  s.halo = S > 1 ? slope * tb_max : 0;
+
+  const int B = s.blocks();
+  s.program.resize(static_cast<std::size_t>(S));
+  for (int i = 0; i < S; ++i) {
+    for (int b = 0; b < B; ++b) {
+      ShardStep compute;
+      compute.kind = ShardStepKind::Compute;
+      compute.block = b;
+      compute.tb = s.block_steps[static_cast<std::size_t>(b)];
+      if (b > 0) {
+        // Anti-dependence: the neighbors read this shard's owned rows while
+        // exchanging block b-1; they must be done before this block
+        // overwrites them.
+        wait_neighbors(compute.waits, ShardCell::Copied, i, S, b);
+      }
+      s.program[static_cast<std::size_t>(i)].push_back(std::move(compute));
+
+      if (b + 1 < B) {
+        ShardStep exch;
+        exch.kind = ShardStepKind::Exchange;
+        exch.block = b;
+        // Flow dependence: the halo rows this shard refreshes are the
+        // neighbors' owned rows as of the end of block b.
+        wait_neighbors(exch.waits, ShardCell::Computed, i, S, b + 1);
+        s.program[static_cast<std::size_t>(i)].push_back(std::move(exch));
+      }
+    }
+  }
+  return s;
+}
+
+namespace {
+
+struct Sink {
+  VerifyReport& rep;
+  std::size_t max_diags;
+
+  void emit(Diag d) {
+    if (rep.diags.size() >= max_diags) {
+      ++rep.suppressed;
+      return;
+    }
+    rep.diags.push_back(std::move(d));
+  }
+  void error(DiagKind kind, std::string detail, int shard = -1,
+             int block = -1) {
+    Diag d;
+    d.kind = kind;
+    d.tile_a = shard;
+    d.t = block;
+    d.detail = std::move(detail);
+    emit(std::move(d));
+  }
+};
+
+bool has_wait(const ShardStep& step, ShardCell cell, int shard,
+              std::int64_t bound) {
+  for (const ShardWait& w : step.waits) {
+    if (w.cell == cell && w.shard == shard && w.bound >= bound) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+VerifyReport verify_shard_schedule(const ShardSchedule& s,
+                                   const VerifyOptions& opt) {
+  VerifyReport rep;
+  Sink sink{rep, opt.max_diags};
+  const int S = s.shards();
+  const int B = s.blocks();
+
+  // --- Structure -----------------------------------------------------------
+  if (S < 1 || B < 1 || s.extent < 1 || s.slope < 1 ||
+      s.program.size() != static_cast<std::size_t>(S)) {
+    sink.error(DiagKind::MalformedPlan,
+               "shards/blocks/extent/program size inconsistent");
+    return rep;
+  }
+  std::int64_t cursor = 0;
+  for (int i = 0; i < S; ++i) {
+    const ShardDomain& d = s.owned[static_cast<std::size_t>(i)];
+    if (d.lo != cursor || d.hi <= d.lo) {
+      sink.error(DiagKind::CoverageGap,
+                 "owned intervals do not partition [0, extent): shard " +
+                     std::to_string(i) + " = [" + std::to_string(d.lo) + ", " +
+                     std::to_string(d.hi) + ")",
+                 i);
+      return rep;
+    }
+    cursor = d.hi;
+  }
+  if (cursor != s.extent) {
+    sink.error(DiagKind::CoverageGap,
+               "owned intervals stop at " + std::to_string(cursor) +
+                   " of extent " + std::to_string(s.extent));
+    return rep;
+  }
+
+  int sum = 0, tb_max = 0;
+  for (int b = 0; b < B; ++b) {
+    const int tb = s.block_steps[static_cast<std::size_t>(b)];
+    if (tb < 0 || (b + 1 < B && (tb == 0 || (tb & 1) != 0))) {
+      sink.error(DiagKind::MalformedPlan,
+                 "block " + std::to_string(b) + " has " + std::to_string(tb) +
+                     " timesteps; every block but the last must be even and "
+                     "non-empty (the double buffer must re-land on parity 0)",
+                 -1, b);
+    }
+    sum += tb;
+    tb_max = std::max(tb_max, tb);
+  }
+  if (sum != s.T) {
+    sink.error(DiagKind::MalformedPlan,
+               "block timesteps sum to " + std::to_string(sum) + ", T = " +
+                   std::to_string(s.T));
+  }
+  if (S > 1 && s.halo < s.slope * tb_max) {
+    sink.error(DiagKind::WavefrontOverflow,
+               "halo " + std::to_string(s.halo) +
+                   " rows cannot absorb slope*tb = " +
+                   std::to_string(s.slope * tb_max) +
+                   " rows of exactness erosion per block");
+  }
+  if (S > 1) {
+    std::int64_t min_rows = s.extent;
+    for (const ShardDomain& d : s.owned) {
+      min_rows = std::min(min_rows, d.rows());
+    }
+    if (min_rows < s.halo) {
+      sink.error(DiagKind::MalformedPlan,
+                 "smallest shard owns " + std::to_string(min_rows) +
+                     " rows, less than the halo depth " +
+                     std::to_string(s.halo) +
+                     ": a halo would reach past the immediate neighbor");
+    }
+  }
+
+  // --- Program shape + dependence coverage ---------------------------------
+  for (int i = 0; i < S; ++i) {
+    const std::vector<ShardStep>& prog = s.program[static_cast<std::size_t>(i)];
+    const std::size_t expect = static_cast<std::size_t>(B) +
+                               static_cast<std::size_t>(S > 1 ? B - 1 : 0);
+    if (prog.size() != expect) {
+      sink.error(DiagKind::MalformedPlan,
+                 "shard " + std::to_string(i) + " program has " +
+                     std::to_string(prog.size()) + " steps, expected " +
+                     std::to_string(expect),
+                 i);
+      continue;
+    }
+    for (int b = 0; b < B; ++b) {
+      const std::size_t ci = static_cast<std::size_t>(S > 1 ? 2 * b : b);
+      const ShardStep& compute = prog[ci];
+      if (compute.kind != ShardStepKind::Compute || compute.block != b ||
+          compute.tb != s.block_steps[static_cast<std::size_t>(b)]) {
+        sink.error(DiagKind::MalformedPlan,
+                   "shard " + std::to_string(i) + " step " +
+                       std::to_string(ci) + " is not compute(block=" +
+                       std::to_string(b) + ")",
+                   i, b);
+        continue;
+      }
+      // Anti-dependence: block b > 0 overwrites rows the neighbors read
+      // when exchanging block b-1.
+      if (b > 0) {
+        for (int j : {i - 1, i + 1}) {
+          if (j < 0 || j >= S) continue;
+          if (!has_wait(compute, ShardCell::Copied, j, b)) {
+            Diag d;
+            d.kind = DiagKind::DepUncovered;
+            d.tile_a = i;
+            d.tile_b = j;
+            d.t = b;
+            d.detail = "compute(block " + std::to_string(b) + ") of shard " +
+                       std::to_string(i) +
+                       " overwrites rows shard " + std::to_string(j) +
+                       " reads for its block-" + std::to_string(b - 1) +
+                       " exchange, but waits for no Copied[" +
+                       std::to_string(j) + "] >= " + std::to_string(b);
+            sink.emit(std::move(d));
+          }
+        }
+      }
+      if (S > 1 && b + 1 < B) {
+        const ShardStep& exch = prog[ci + 1];
+        if (exch.kind != ShardStepKind::Exchange || exch.block != b) {
+          sink.error(DiagKind::MalformedPlan,
+                     "shard " + std::to_string(i) + " step " +
+                         std::to_string(ci + 1) + " is not exchange(block=" +
+                         std::to_string(b) + ")",
+                     i, b);
+          continue;
+        }
+        // Flow dependence: the refreshed halo rows are the neighbors' owned
+        // rows as of the end of block b.
+        for (int j : {i - 1, i + 1}) {
+          if (j < 0 || j >= S) continue;
+          if (!has_wait(exch, ShardCell::Computed, j, b + 1)) {
+            Diag d;
+            d.kind = DiagKind::DepUncovered;
+            d.tile_a = i;
+            d.tile_b = j;
+            d.t = b;
+            d.detail = "exchange(block " + std::to_string(b) + ") of shard " +
+                       std::to_string(i) + " copies rows of shard " +
+                       std::to_string(j) +
+                       " but waits for no Computed[" + std::to_string(j) +
+                       "] >= " + std::to_string(b + 1);
+            sink.emit(std::move(d));
+          }
+        }
+      }
+    }
+  }
+
+  // --- Progress: simulate the wait/publish protocol ------------------------
+  // Cells start at 0; a shard's next step runs once all its waits are
+  // satisfied, then publishes its own cell = block + 1. If no step can run
+  // and some remain, the protocol deadlocks.
+  {
+    std::vector<std::int64_t> computed(static_cast<std::size_t>(S), 0);
+    std::vector<std::int64_t> copied(static_cast<std::size_t>(S), 0);
+    std::vector<std::size_t> next(static_cast<std::size_t>(S), 0);
+    std::int64_t executed = 0, total = 0;
+    for (const auto& prog : s.program) {
+      total += static_cast<std::int64_t>(prog.size());
+    }
+    bool advanced = true;
+    while (advanced) {
+      advanced = false;
+      for (int i = 0; i < S; ++i) {
+        const auto& prog = s.program[static_cast<std::size_t>(i)];
+        while (next[static_cast<std::size_t>(i)] < prog.size()) {
+          const ShardStep& st = prog[next[static_cast<std::size_t>(i)]];
+          bool ready = true;
+          for (const ShardWait& w : st.waits) {
+            if (w.shard < 0 || w.shard >= S) {
+              ready = false;
+              break;
+            }
+            const std::int64_t have =
+                w.cell == ShardCell::Computed
+                    ? computed[static_cast<std::size_t>(w.shard)]
+                    : copied[static_cast<std::size_t>(w.shard)];
+            if (have < w.bound) {
+              ready = false;
+              break;
+            }
+          }
+          if (!ready) break;
+          if (st.kind == ShardStepKind::Compute) {
+            computed[static_cast<std::size_t>(i)] = st.block + 1;
+          } else {
+            copied[static_cast<std::size_t>(i)] = st.block + 1;
+          }
+          ++next[static_cast<std::size_t>(i)];
+          ++executed;
+          advanced = true;
+        }
+      }
+    }
+    if (executed != total) {
+      for (int i = 0; i < S; ++i) {
+        const auto& prog = s.program[static_cast<std::size_t>(i)];
+        if (next[static_cast<std::size_t>(i)] >= prog.size()) continue;
+        const ShardStep& st = prog[next[static_cast<std::size_t>(i)]];
+        Diag d;
+        d.kind = DiagKind::StuckWait;
+        d.tile_a = i;
+        d.t = st.block;
+        d.detail = "shard " + std::to_string(i) + " stuck at " +
+                   (st.kind == ShardStepKind::Compute ? "compute" : "exchange") +
+                   "(block " + std::to_string(st.block) +
+                   "): a wait can never be satisfied";
+        sink.emit(std::move(d));
+      }
+    }
+  }
+
+  rep.stats.tiles = static_cast<std::int64_t>(S) * B;
+  for (const auto& prog : s.program) {
+    for (const ShardStep& st : prog) {
+      rep.stats.edges += static_cast<std::int64_t>(st.waits.size());
+    }
+  }
+  return rep;
+}
+
+}  // namespace cats::plan_ir

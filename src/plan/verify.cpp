@@ -597,7 +597,11 @@ VerifyReport verify_plan(const TilePlan& p, const VerifyOptions& opt) {
       d.limit = allowed;
       d.detail = "wavefront " + std::to_string(max_ws_wavefront) + ", " +
                  std::to_string(max_ws_cells) + " cells; Z=" +
-                 std::to_string(p.cache_bytes);
+                 std::to_string(p.cache_bytes) +
+                 (p.cache_tenants > 1
+                      ? " (1/" + std::to_string(p.cache_tenants) +
+                            " tenant share)"
+                      : "");
       sink.emit(std::move(d));
     }
     DomainShape dsh;

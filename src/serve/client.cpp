@@ -1,0 +1,123 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+
+namespace cats::serve {
+
+namespace {
+
+void set_err(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+bool Client::connect(const std::string& socket_path, std::string* err) {
+  close();
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    if (err != nullptr) *err = "socket path empty or too long";
+    return false;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_err(err, "socket");
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    set_err(err, "connect " + socket_path);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::request(const std::string& line, std::string* response,
+                     std::string* err) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_err(err, "send");
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      response->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (err != nullptr) *err = "server closed the connection";
+      return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<JobResult> Client::submit(const JobRequest& job,
+                                        std::string* err) {
+  Request rq;
+  rq.op = Request::Op::Submit;
+  rq.job = job;
+  std::string resp;
+  if (!request(encode_request(rq), &resp, err)) return std::nullopt;
+  JobResult r;
+  if (!parse_result(resp, &r, err)) return std::nullopt;
+  return r;
+}
+
+bool Client::ping(std::string* err) {
+  std::string resp;
+  if (!request(R"({"op":"ping"})", &resp, err)) return false;
+  if (resp.find("pong") == std::string::npos) {
+    if (err != nullptr) *err = "unexpected ping response: " + resp;
+    return false;
+  }
+  return true;
+}
+
+bool Client::stats(std::string* json_out, std::string* err) {
+  return request(R"({"op":"stats"})", json_out, err);
+}
+
+bool Client::shutdown_server(bool cancel, std::string* err) {
+  std::string resp;
+  const char* line = cancel ? R"({"op":"shutdown","cancel":true})"
+                            : R"({"op":"shutdown"})";
+  return request(line, &resp, err);
+}
+
+}  // namespace cats::serve

@@ -1,0 +1,47 @@
+#pragma once
+// Thin client for the stencil service: connect to the server's Unix-domain
+// socket, exchange one JSON line per request (serve/protocol.hpp). Used by
+// tools/cats_submit and the end-to-end tests; embedding programs can link it
+// directly instead of shelling out.
+
+#include <optional>
+#include <string>
+
+#include "serve/job.hpp"
+
+namespace cats::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the server socket. False (with `err`) when the socket is
+  /// absent or refuses — e.g. no server running.
+  bool connect(const std::string& socket_path, std::string* err);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Raw round-trip: send one line, read one response line.
+  bool request(const std::string& line, std::string* response,
+               std::string* err);
+
+  /// Submit a job and block for its terminal result. nullopt only on
+  /// transport errors; rejected/cancelled/failed jobs come back as a
+  /// JobResult with that status.
+  std::optional<JobResult> submit(const JobRequest& job, std::string* err);
+
+  bool ping(std::string* err);
+  bool stats(std::string* json_out, std::string* err);
+  /// Ask the server to drain (cancel=false) or cancel+drain (cancel=true).
+  bool shutdown_server(bool cancel, std::string* err);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< partial-line carry between reads
+};
+
+}  // namespace cats::serve

@@ -1,0 +1,87 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cats::serve {
+
+FairQueue::Served& FairQueue::served_for(const std::string& tenant) {
+  for (auto& [name, s] : served_) {
+    if (name == tenant) return s;
+  }
+  served_.emplace_back(tenant, Served{});
+  return served_.back().second;
+}
+
+double FairQueue::served_cost(const std::string& tenant) const {
+  for (const auto& [name, s] : served_) {
+    if (name == tenant) return s.cost;
+  }
+  return 0.0;
+}
+
+bool FairQueue::push(QueuedJob j) {
+  if (full()) return false;
+  q_.push_back(std::move(j));
+  return true;
+}
+
+std::optional<QueuedJob> FairQueue::pop() {
+  return pop_if([](const JobRequest&) { return true; });
+}
+
+std::optional<QueuedJob> FairQueue::pop_if(
+    const std::function<bool(const JobRequest&)>& eligible) {
+  // Earliest eligible job per tenant, then the tenant with the least served
+  // cost wins; ties go to the earlier arrival (stable: strict <).
+  std::size_t best = q_.size();
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<const std::string*> seen;
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    const std::string& tenant = q_[i].req.tenant;
+    const auto is_seen = [&](const std::string* t) { return *t == tenant; };
+    if (std::any_of(seen.begin(), seen.end(), is_seen)) continue;
+    if (!eligible(q_[i].req)) continue;
+    seen.push_back(&tenant);
+    const double c = served_cost(tenant);
+    if (c < best_cost) {
+      best_cost = c;
+      best = i;
+    }
+  }
+  if (best == q_.size()) return std::nullopt;
+  QueuedJob j = std::move(q_[best]);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(best));
+  Served& s = served_for(j.req.tenant);
+  s.cost += static_cast<double>(j.cost);
+  s.jobs += 1;
+  return j;
+}
+
+std::vector<QueuedJob> FairQueue::drain_all() {
+  std::vector<QueuedJob> out;
+  out.reserve(q_.size());
+  for (QueuedJob& j : q_) out.push_back(std::move(j));
+  q_.clear();
+  return out;
+}
+
+std::vector<FairQueue::TenantShare> FairQueue::shares() const {
+  std::vector<TenantShare> out;
+  const auto row = [&](const std::string& tenant) -> TenantShare& {
+    for (TenantShare& t : out) {
+      if (t.tenant == tenant) return t;
+    }
+    out.push_back({tenant, 0.0, 0, 0});
+    return out.back();
+  };
+  for (const auto& [name, s] : served_) {
+    TenantShare& t = row(name);
+    t.served_cost = s.cost;
+    t.jobs_served = s.jobs;
+  }
+  for (const QueuedJob& j : q_) row(j.req.tenant).queued += 1;
+  return out;
+}
+
+}  // namespace cats::serve

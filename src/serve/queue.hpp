@@ -1,0 +1,84 @@
+#pragma once
+// Bounded fair-share admission queue for the stencil service.
+//
+// Plain data structure, deliberately NOT thread-safe: the scheduler owns the
+// lock, so admission policy (backpressure, fair-share ordering, batching
+// filters) is unit-testable single-threaded (tests/test_serve.cpp).
+//
+// Fairness is deficit-style: every tenant accumulates the cost (point
+// updates, job_cost) of the work popped on its behalf, and pop() always
+// serves the queued tenant with the LEAST accumulated cost — so a tenant
+// streaming huge jobs cannot starve one submitting small ones, while a lone
+// tenant still gets the whole machine. Within a tenant, jobs stay FIFO.
+// Capacity is the backpressure bound: push() refuses when full and the
+// server answers the client with a typed Rejected status instead of queueing
+// unboundedly.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace cats::serve {
+
+/// One admitted job: the request plus the promise the executor resolves.
+struct QueuedJob {
+  JobRequest req;
+  std::promise<JobResult> promise;
+  std::int64_t cost = 0;  ///< job_cost(req), accounted to the tenant on pop
+};
+
+class FairQueue {
+ public:
+  explicit FairQueue(std::size_t capacity) : cap_(capacity) {}
+
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= cap_; }
+  std::size_t size() const { return q_.size(); }
+  std::size_t capacity() const { return cap_; }
+
+  /// Admit a job; false when the queue is at capacity (backpressure).
+  bool push(QueuedJob j);
+
+  /// Fair-share pop: earliest job of the queued tenant with the least
+  /// accumulated served cost. Accounts the job's cost to its tenant.
+  std::optional<QueuedJob> pop();
+
+  /// pop() restricted to jobs `eligible` accepts (batch assembly: same
+  /// kernel family, non-split). Skips ineligible jobs without reordering.
+  std::optional<QueuedJob> pop_if(
+      const std::function<bool(const JobRequest&)>& eligible);
+
+  /// Remove every queued job (shutdown-with-cancel); the caller resolves
+  /// their promises as Cancelled.
+  std::vector<QueuedJob> drain_all();
+
+  struct TenantShare {
+    std::string tenant;
+    double served_cost = 0.0;     ///< point updates popped for this tenant
+    std::int64_t jobs_served = 0;
+    std::int64_t queued = 0;
+  };
+  /// Accounting snapshot over every tenant ever served or currently queued.
+  std::vector<TenantShare> shares() const;
+
+ private:
+  struct Served {
+    double cost = 0.0;
+    std::int64_t jobs = 0;
+  };
+
+  std::size_t cap_;
+  std::deque<QueuedJob> q_;  ///< arrival order (FIFO within each tenant)
+  std::vector<std::pair<std::string, Served>> served_;
+
+  Served& served_for(const std::string& tenant);
+  double served_cost(const std::string& tenant) const;
+};
+
+}  // namespace cats::serve

@@ -1,0 +1,275 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+#include "tune/json.hpp"
+
+namespace cats::serve {
+
+namespace {
+
+/// Read one '\n'-terminated line from fd into `line` (without the
+/// terminator), carrying partial data in `buf` across calls. False on
+/// EOF/error with nothing decodable left.
+bool read_line(int fd, std::string& buf, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buf, 0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool write_line(int fd, const std::string& s) {
+  std::string out = s;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the server.
+    const ssize_t n =
+        ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg, const Topology* topo)
+    : cfg_(std::move(cfg)), sched_(cfg_.sched, topo) {}
+
+Server::~Server() {
+  request_cancel();
+  wait();
+}
+
+bool Server::start(std::string* err) {
+  const auto fail = [&](const char* what) {
+    if (err != nullptr)
+      *err = std::string(what) + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  };
+  if (cfg_.socket_path.empty() ||
+      cfg_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    if (err != nullptr) *err = "socket path empty or too long";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(cfg_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    return fail("bind");
+  if (::listen(listen_fd_, 16) < 0) return fail("listen");
+  if (::pipe(wake_fds_) < 0) return fail("pipe");
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  started_ = true;
+  if (cfg_.verbose) {
+    std::fprintf(stderr, "cats_served: listening on %s; %s\n",
+                 cfg_.socket_path.c_str(),
+                 sched_.shard_plan().describe().c_str());
+  }
+  return true;
+}
+
+void Server::wake() {
+  if (wake_fds_[1] >= 0) {
+    const char b = 1;
+    // A full pipe already guarantees a pending wakeup; the result only
+    // matters for that no-op case.
+    (void)!::write(wake_fds_[1], &b, 1);
+  }
+}
+
+void Server::request_drain() {
+  // order: relaxed — the scheduler's own lock orders the actual drain.
+  draining_.store(true, std::memory_order_relaxed);
+  sched_.drain();
+  wake();
+}
+
+void Server::request_cancel() {
+  // order: relaxed — see request_drain.
+  cancel_.store(true, std::memory_order_relaxed);
+  request_drain();
+  sched_.cancel_queued();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // drain requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&Server::serve_connection, this, fd);
+  }
+  // Drain sweep: connections the kernel completed into the backlog before
+  // the wake landed would otherwise hang until the listener closes. Accept
+  // them so their requests get a typed "draining" rejection instead.
+  for (;;) {
+    pollfd pending = {listen_fd_, POLLIN, 0};
+    if (::poll(&pending, 1, 0) <= 0 || (pending.revents & POLLIN) == 0) break;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&Server::serve_connection, this, fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buf, line;
+  while (read_line(fd, buf, line)) {
+    if (line.empty()) continue;
+    Request rq;
+    std::string err;
+    if (!parse_request(line, &rq, &err)) {
+      JobResult r;
+      r.status = JobStatus::Rejected;
+      r.error = err;
+      if (!write_line(fd, encode_result(r))) break;
+      continue;
+    }
+    switch (rq.op) {
+      case Request::Op::Ping:
+        if (!write_line(fd, R"({"ok":true,"op":"pong"})")) return;
+        break;
+      case Request::Op::Stats:
+        if (!write_line(fd, stats_json())) return;
+        break;
+      case Request::Op::Shutdown: {
+        if (!write_line(fd, R"({"ok":true,"op":"shutdown"})")) return;
+        if (rq.cancel) {
+          request_cancel();
+        } else {
+          request_drain();
+        }
+        break;
+      }
+      case Request::Op::Submit: {
+        if (cfg_.verbose) {
+          std::fprintf(stderr, "cats_served: job %s %lldx%lldx%lld T=%d\n",
+                       rq.job.kernel.c_str(),
+                       static_cast<long long>(rq.job.nx),
+                       static_cast<long long>(rq.job.ny),
+                       static_cast<long long>(rq.job.nz), rq.job.t_steps);
+        }
+        std::future<JobResult> fut = sched_.submit(std::move(rq.job));
+        const JobResult r = fut.get();
+        if (!write_line(fd, encode_result(r))) return;
+        break;
+      }
+    }
+  }
+}
+
+void Server::wait() {
+  if (!started_) return;
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Serve out the queue (or what cancel left of it), then stop executors.
+  sched_.stop();
+  // Connections past this point can only be idle readers; shut them down so
+  // their threads see EOF and exit.
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      threads.swap(conn_threads_);
+    }
+    if (threads.empty()) break;
+    for (std::thread& t : threads) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (const int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  ::unlink(cfg_.socket_path.c_str());
+  started_ = false;
+}
+
+std::string Server::stats_json() {
+  using tune::json_number;
+  using tune::json_quote;
+  const SchedulerStats s = sched_.stats();
+  std::string out = std::string("{\"ok\":true,\"queue_depth\":") +
+                    std::to_string(s.queue_depth) +
+                    ",\"queue_capacity\":" + std::to_string(s.queue_capacity) +
+                    ",\"draining\":" + (s.draining ? "true" : "false") +
+                    ",\"rejected\":" + std::to_string(s.rejected) +
+                    ",\"wait_events\":" + std::to_string(s.wait_events) +
+                    ",\"wait_ns\":" + std::to_string(s.wait_ns) +
+                    ",\"shards\":[";
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    const ShardExecStats& sh = s.shards[i];
+    if (i != 0) out += ",";
+    const double mlups =
+        sh.busy_seconds > 0.0 ? sh.lups / sh.busy_seconds / 1e6 : 0.0;
+    out += "{\"id\":" + std::to_string(sh.id) +
+           ",\"node\":" + std::to_string(sh.node) +
+           ",\"threads\":" + std::to_string(sh.threads) +
+           ",\"jobs\":" + std::to_string(sh.jobs) +
+           ",\"batches\":" + std::to_string(sh.batches) +
+           ",\"splits\":" + std::to_string(sh.splits) +
+           ",\"busy_seconds\":" + json_number(sh.busy_seconds) +
+           ",\"mlups\":" + json_number(mlups) +
+           ",\"model_dram_bytes\":" + json_number(sh.model_dram_bytes) + "}";
+  }
+  out += "],\"tenants\":[";
+  for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+    const FairQueue::TenantShare& t = s.tenants[i];
+    if (i != 0) out += ",";
+    out += "{\"tenant\":" + json_quote(t.tenant) +
+           ",\"served_cost\":" + json_number(t.served_cost) +
+           ",\"jobs_served\":" + std::to_string(t.jobs_served) +
+           ",\"queued\":" + std::to_string(t.queued) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cats::serve

@@ -1,0 +1,87 @@
+#pragma once
+// Unix-domain-socket front end of the stencil service.
+//
+// One accept thread multiplexes the listening socket against a self-pipe
+// (poll); each accepted connection gets a reader thread that parses
+// line-delimited JSON requests (serve/protocol.hpp), forwards submits to the
+// scheduler and writes one response line per request. Submits block the
+// connection (not the server) until the job's future resolves, so a client
+// sees exactly one terminal status per job.
+//
+// Shutdown is two-stage, matching the daemon's signal discipline
+// (tools/cats_served.cpp): request_drain() stops accepting connections and
+// new jobs while queued and in-flight work completes; request_cancel()
+// additionally evicts queued jobs (their clients get a typed Cancelled).
+// wait() blocks until the drain finishes, then force-closes idle
+// connections, joins every thread and unlinks the socket path.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace cats::serve {
+
+struct ServerConfig {
+  std::string socket_path;
+  SchedulerConfig sched;
+  bool verbose = false;  ///< log accepts/jobs to stderr
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg, const Topology* topo = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept thread. False (with `err`) on any
+  /// socket failure; a stale socket file at the path is replaced.
+  bool start(std::string* err);
+
+  /// Stage 1: stop accepting, drain the queue. Callable from any thread
+  /// (signal-safe enough: writes one byte to the self-pipe). Idempotent.
+  void request_drain();
+  /// Stage 2: drain + evict queued jobs as Cancelled. Idempotent.
+  void request_cancel();
+
+  bool draining() const {
+    // order: relaxed — advisory flag for status reporting only.
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Block until a requested drain completes, then tear everything down.
+  /// Returns immediately if start() failed or was never called.
+  void wait();
+
+  Scheduler& scheduler() { return sched_; }
+  const std::string& socket_path() const { return cfg_.socket_path; }
+
+  /// Scheduler stats encoded as one JSON line (also served for "stats").
+  std::string stats_json();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void wake();
+
+  ServerConfig cfg_;
+  Scheduler sched_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
+  std::thread accept_thread_;
+  bool started_ = false;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace cats::serve

@@ -1,0 +1,140 @@
+#include "sysinfo/shards.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "check/check.hpp"
+
+namespace cats {
+
+namespace {
+
+/// One physical core and every logical CPU on it (primary first).
+struct CoreSlot {
+  int node = 0;
+  std::vector<int> cpus;
+};
+
+/// Physical cores ordered by node, each carrying its SMT siblings. This is
+/// the unit shards are dealt in: a shard owns whole cores, never a lone
+/// sibling of a core another shard works on.
+std::vector<CoreSlot> core_slots(const Topology& topo) {
+  std::vector<CoreSlot> slots;
+  for (const CpuPlace& p : topo.cpus) {
+    if (p.smt_sibling) continue;
+    slots.push_back({p.node, {p.cpu}});
+  }
+  // Attach siblings to their core (same package/core pair).
+  for (const CpuPlace& p : topo.cpus) {
+    if (!p.smt_sibling) continue;
+    for (const CpuPlace& q : topo.cpus) {
+      if (q.smt_sibling || q.core != p.core || q.package != p.package) continue;
+      for (CoreSlot& s : slots) {
+        if (!s.cpus.empty() && s.cpus[0] == q.cpu) {
+          s.cpus.push_back(p.cpu);
+          break;
+        }
+      }
+      break;
+    }
+  }
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const CoreSlot& a, const CoreSlot& b) {
+                     return a.node < b.node;
+                   });
+  return slots;
+}
+
+ShardSpec shard_from_slots(int id, const std::vector<CoreSlot>& slots,
+                           std::size_t lo, std::size_t hi,
+                           int threads_per_shard) {
+  ShardSpec s;
+  s.id = id;
+  s.node = slots[lo].node;
+  // Physical cores first, then the group's SMT siblings, matching
+  // Topology::pin_order's placement discipline.
+  for (std::size_t i = lo; i < hi; ++i) s.cpus.push_back(slots[i].cpus[0]);
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t j = 1; j < slots[i].cpus.size(); ++j) {
+      s.cpus.push_back(slots[i].cpus[j]);
+    }
+  }
+  s.threads = threads_per_shard > 0
+                  ? threads_per_shard
+                  : std::max(1, static_cast<int>(hi - lo));
+  return s;
+}
+
+}  // namespace
+
+ShardPlan derive_shards(const Topology& topo, int want, int threads_per_shard) {
+  CATS_CHECK(want >= 0 && threads_per_shard >= 0,
+             "derive_shards want=%d threads_per_shard=%d must be >= 0", want,
+             threads_per_shard);
+  ShardPlan plan;
+
+  if (!topo.known || topo.cpus.empty()) {
+    // No topology: equal unpinned thread groups. The scheduler still gets
+    // its concurrency structure; only placement is lost.
+    const int n = std::max(want, 1);
+    const int hw = std::max(1u, std::thread::hardware_concurrency());
+    for (int i = 0; i < n; ++i) {
+      ShardSpec s;
+      s.id = i;
+      s.node = -1;
+      s.threads = threads_per_shard > 0 ? threads_per_shard
+                                        : std::max(1, hw / n);
+      plan.shards.push_back(std::move(s));
+    }
+    return plan;
+  }
+
+  const std::vector<CoreSlot> slots = core_slots(topo);
+  CATS_CHECK(!slots.empty(), "topology known but no physical cores parsed");
+
+  if (want == 0) {
+    // Natural layout: one shard per NUMA node (slots are node-ordered, so
+    // each node is one contiguous run).
+    std::size_t lo = 0;
+    int id = 0;
+    for (std::size_t i = 1; i <= slots.size(); ++i) {
+      if (i == slots.size() || slots[i].node != slots[lo].node) {
+        plan.shards.push_back(
+            shard_from_slots(id++, slots, lo, i, threads_per_shard));
+        lo = i;
+      }
+    }
+  } else {
+    // Forced count: contiguous groups of the node-ordered core list, sizes
+    // differing by at most one. More shards than cores clamps to one core
+    // per shard.
+    const int n = std::min<int>(want, static_cast<int>(slots.size()));
+    for (int i = 0; i < n; ++i) {
+      const std::size_t lo = slots.size() * static_cast<std::size_t>(i) /
+                             static_cast<std::size_t>(n);
+      const std::size_t hi = slots.size() * (static_cast<std::size_t>(i) + 1) /
+                             static_cast<std::size_t>(n);
+      plan.shards.push_back(shard_from_slots(i, slots, lo, hi,
+                                             threads_per_shard));
+    }
+  }
+  plan.pinned = true;
+  return plan;
+}
+
+std::string ShardPlan::describe() const {
+  std::string out = std::to_string(shards.size()) + " shard(s)" +
+                    (pinned ? " (pinned)" : " (unpinned)");
+  for (const ShardSpec& s : shards) {
+    out += "; #" + std::to_string(s.id) + " node" + std::to_string(s.node) +
+           " threads=" + std::to_string(s.threads) + " cpus[";
+    for (std::size_t i = 0; i < s.cpus.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(s.cpus[i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace cats

@@ -1,0 +1,56 @@
+#pragma once
+// NUMA-node shard derivation for the stencil service (src/serve).
+//
+// A shard is the scheduling unit of the persistent server: a set of logical
+// CPUs that share a NUMA node (and therefore a memory controller and — on
+// most machines — a last-level cache), plus the worker-thread count backed
+// by those CPUs. Jobs dispatched to one shard pin their pool to the shard's
+// CPUs, first-touch their grids there, and never migrate, so a tenant's
+// wavefront working set stays in one node's caches while other shards serve
+// other tenants (Wittmann/Hager/Wellein: temporal blocking composes with
+// node-level domain decomposition).
+//
+// Derivation mirrors Topology::pin_order's discipline: physical cores first
+// (one thread per core keeps the full private L2 that Eq. 1/2 budget for),
+// SMT siblings only after every core of the shard has one thread. When the
+// topology is unknown (non-Linux, stripped sysfs), shards degrade to
+// unpinned thread groups of equal size — correct, just without placement.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sysinfo/topology.hpp"
+
+namespace cats {
+
+/// One NUMA-node shard: the CPUs a dispatched job may pin to, in pin order
+/// (physical cores first, then SMT siblings).
+struct ShardSpec {
+  int id = 0;
+  int node = 0;           ///< NUMA node the shard's CPUs live on (-1 unknown)
+  std::vector<int> cpus;  ///< pin order; empty = run this shard unpinned
+  int threads = 1;        ///< worker threads the shard schedules (>= 1)
+};
+
+struct ShardPlan {
+  std::vector<ShardSpec> shards;
+  bool pinned = false;  ///< shards carry real CPU lists (topology was known)
+
+  int size() const { return static_cast<int>(shards.size()); }
+  /// One-line summary for server logs, e.g. "2 shards: #0 node0 cpus 0-3 ...".
+  std::string describe() const;
+};
+
+/// Partition the machine into shards. `want == 0` derives one shard per NUMA
+/// node (the natural service layout); `want > 0` forces that many shards by
+/// splitting the node-ordered core list into contiguous groups (a shard then
+/// never straddles a node unless want exceeds the node count or a node's
+/// cores don't divide evenly). `threads_per_shard == 0` gives every shard as
+/// many workers as it has physical cores (minimum 1); > 0 overrides.
+/// Unknown topology: `max(want, 1)` unpinned shards of
+/// hardware_concurrency()/shards workers each.
+ShardPlan derive_shards(const Topology& topo, int want = 0,
+                        int threads_per_shard = 0);
+
+}  // namespace cats

@@ -25,12 +25,14 @@ namespace cats {
 /// Run body(tid, lo, hi) on `threads` pool participants, where [lo, hi) is
 /// tid's slab of [0, extent) extended by `ghost` at the domain ends (first
 /// and last slab take the ghost rows/slabs, so the union covers the whole
-/// allocation exactly once).
+/// allocation exactly once). `pin` is an explicit shard CPU list
+/// (RunOptions::pin_cpus) overriding the policy when non-null.
 template <class Body>
 void first_touch_slabs(int extent, int ghost, int threads,
-                       AffinityPolicy affinity, Body&& body) {
+                       AffinityPolicy affinity, Body&& body,
+                       const std::vector<int>* pin = nullptr) {
   const int P = std::clamp(threads, 1, std::max(1, extent));
-  ThreadPool pool(P, affinity);
+  ThreadPool pool(P, affinity, nullptr, pin);
   pool.run([&](int tid) {
     std::int64_t lo = static_cast<std::int64_t>(extent) * tid / P;
     std::int64_t hi = static_cast<std::int64_t>(extent) * (tid + 1) / P;

@@ -40,13 +40,27 @@ bool ThreadPool::pin_self(int cpu) {
 }
 
 ThreadPool::ThreadPool(int threads, AffinityPolicy affinity,
-                       const Topology* topology)
+                       const Topology* topology,
+                       const std::vector<int>* explicit_pin)
     : n_(threads) {
   CATS_CHECK(threads >= 1, "ThreadPool threads=%d must be >= 1", threads);
 
-  if (affinity != AffinityPolicy::None) {
+  const bool explicit_requested =
+      explicit_pin != nullptr && !explicit_pin->empty();
+  if (explicit_requested) {
+    // Shard-constrained run (src/serve): wrap the shard's CPU list over the
+    // participants, overriding the policy path.
+    pin_order_.resize(static_cast<std::size_t>(n_));
+    for (int tid = 0; tid < n_; ++tid) {
+      pin_order_[static_cast<std::size_t>(tid)] =
+          (*explicit_pin)[static_cast<std::size_t>(tid) % explicit_pin->size()];
+    }
+  } else if (affinity != AffinityPolicy::None) {
     const Topology& topo = topology ? *topology : system_topology();
     pin_order_ = topo.pin_order(affinity, n_);
+  }
+
+  if (explicit_requested || affinity != AffinityPolicy::None) {
     if (pin_order_.empty()) {
       warn_unpinned_once("topology unknown");
     } else {

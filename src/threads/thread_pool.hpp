@@ -32,10 +32,14 @@ class ThreadPool {
  public:
   /// Creates `threads - 1` workers; the caller is participant 0. With a
   /// policy other than None, participants are pinned per `topology`
-  /// (nullptr = the detected system_topology()).
+  /// (nullptr = the detected system_topology()). A non-empty `explicit_pin`
+  /// (shard-constrained runs, src/serve) overrides the policy: participant
+  /// tid is bound to explicit_pin[tid % size], so a pool larger than its
+  /// shard's CPU set wraps around instead of spilling off-shard.
   explicit ThreadPool(int threads,
                       AffinityPolicy affinity = AffinityPolicy::None,
-                      const Topology* topology = nullptr);
+                      const Topology* topology = nullptr,
+                      const std::vector<int>* explicit_pin = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -39,6 +39,12 @@ std::string TuneDb::default_path() {
     return std::string(xdg) + "/cats/tune.json";
   if (const char* home = std::getenv("HOME"))
     return std::string(home) + "/.cache/cats/tune.json";
+  // Last resort was CWD-relative, which breaks daemons (cats_served may run
+  // from / or chdir after startup): anchor it to the current directory at
+  // first resolution instead of at every open.
+  std::error_code ec;
+  const std::filesystem::path cwd = std::filesystem::current_path(ec);
+  if (!ec) return (cwd / "cats_tune.json").string();
   return "cats_tune.json";
 }
 
