@@ -1,18 +1,24 @@
 // Consolidated perf-tracking suite: one pinned-size run per kernel family x
 // scheme configuration, emitting a single machine-readable report
-// (`--json BENCH_5.json`) with MLUP/s and modeled DRAM bytes/point per row.
+// (`--json BENCH_7.json`) with MLUP/s and modeled DRAM bytes/point per row.
 // CI runs it under CATS_BENCH_TINY and tools/bench_compare.py diffs the
-// MLUP/s columns against the checked-in baseline (15% tolerance).
+// MLUP/s columns against the checked-in baseline (15% tolerance), grouped
+// per precision (the fp32 family carries its own naive/plain anchors).
 //
-// Each CATS2 family is measured twice: "cats2_plain" disables the wave
-// engine (unroll_t=1, no NT stores, no software prefetch) and "cats2_wave"
-// enables it (temporal fusion, NT trailing stores, prefetch) — their ratio
-// is the wave engine's speedup on this machine.
+// Each CATS2 family is measured three ways: "cats2_plain" disables the wave
+// engine (unroll_t=1, no NT stores, no software prefetch), "cats2_wave"
+// enables it (temporal fusion, NT trailing stores, prefetch), and "cats2_tv"
+// additionally runs the fused chain through the temporally-vectorized
+// micro-kernel (RunOptions::temporal_vec, wave/temporal_vec.hpp). The
+// wave/plain ratio is the wave engine's speedup, the tv/wave ratio the
+// register-window gain, and const2d_f32 vs const2d at equal config the fp32
+// precision gain.
 
 #include "common.hpp"
 #include "kernels/banded2d.hpp"
 #include "kernels/banded3d.hpp"
 #include "kernels/const2d.hpp"
+#include "kernels/const2d_f32.hpp"
 #include "kernels/const3d.hpp"
 
 using namespace cats;
@@ -26,14 +32,16 @@ struct SchemeConfig {
   int unroll_t;       // RunOptions::unroll_t (0 = auto-fuse)
   bool nt_stores;
   int prefetch_dist;
+  bool temporal_vec;  // RunOptions::temporal_vec (register-window chains)
 };
 
 constexpr SchemeConfig kConfigs[] = {
-    {"naive", Scheme::Naive, 1, false, 0},
-    {"pluto", Scheme::PlutoLike, 1, false, 0},
-    {"cats1", Scheme::Cats1, 0, false, 4},
-    {"cats2_plain", Scheme::Cats2, 1, false, 0},
-    {"cats2_wave", Scheme::Cats2, 0, true, 4},
+    {"naive", Scheme::Naive, 1, false, 0, false},
+    {"pluto", Scheme::PlutoLike, 1, false, 0, false},
+    {"cats1", Scheme::Cats1, 0, false, 4, false},
+    {"cats2_plain", Scheme::Cats2, 1, false, 0, false},
+    {"cats2_wave", Scheme::Cats2, 0, true, 4, false},
+    {"cats2_tv", Scheme::Cats2, 0, true, 4, true},
 };
 
 RunOptions suite_options(const BenchConfig& cfg, const SchemeConfig& sc) {
@@ -42,6 +50,7 @@ RunOptions suite_options(const BenchConfig& cfg, const SchemeConfig& sc) {
   opt.unroll_t = sc.unroll_t;
   opt.nt_stores = sc.nt_stores;
   opt.prefetch_dist = sc.prefetch_dist;
+  opt.temporal_vec = sc.temporal_vec;
   return opt;
 }
 
@@ -89,6 +98,13 @@ int main(int argc, char** argv) {
     return k;
   }, T, cfg, n2);
 
+  bench_kernel(table, "const2d_f32", [&] {
+    FloatStar2D<1> k(side2, side2, default_star2d_weights<1, float>());
+    k.parallel_init(options_for(cfg, Scheme::Naive),
+                    [](int x, int y) { return 0.01f * x + 0.02f * y; }, 1.0f);
+    return k;
+  }, T, cfg, n2);
+
   bench_kernel(table, "banded2d", [&] {
     Banded2D<1> k(side2, side2);
     k.parallel_init(options_for(cfg, Scheme::Naive),
@@ -122,20 +138,34 @@ int main(int argc, char** argv) {
 
   table.print(std::cout);
 
-  // Wave-engine speedup summary (the PR 5 acceptance numbers).
+  // Speedup summaries: wave engine over plain (the PR 5 acceptance
+  // numbers), temporal vectorization over the spatial wave path, and the
+  // fp32 family over fp64 at equal configuration.
   const auto& rows = table.rows();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (rows[i][1] != std::string("cats2_plain")) continue;
-    for (std::size_t j = 0; j < rows.size(); ++j) {
-      if (rows[j][0] == rows[i][0] && rows[j][1] == std::string("cats2_wave")) {
-        const double plain = std::atof(rows[i][3].c_str());
-        const double wave = std::atof(rows[j][3].c_str());
-        std::cout << rows[i][0] << ": wave engine speedup "
-                  << fmt_fixed(plain > 0 ? wave / plain : 0.0, 2) << "x ("
-                  << fmt_fixed(plain, 1) << " -> " << fmt_fixed(wave, 1)
-                  << " MLUP/s)\n";
-      }
+  const auto mlups_of = [&](const std::string& kernel,
+                            const std::string& config) {
+    for (const auto& r : rows) {
+      if (r[0] == kernel && r[1] == config) return std::atof(r[3].c_str());
     }
+    return 0.0;
+  };
+  const auto ratio_line = [&](const std::string& label, double base,
+                              double x) {
+    std::cout << label << " " << fmt_fixed(base > 0 ? x / base : 0.0, 2)
+              << "x (" << fmt_fixed(base, 1) << " -> " << fmt_fixed(x, 1)
+              << " MLUP/s)\n";
+  };
+  for (const char* kernel :
+       {"const2d", "const2d_f32", "banded2d", "const3d", "banded3d"}) {
+    const double plain = mlups_of(kernel, "cats2_plain");
+    const double wave = mlups_of(kernel, "cats2_wave");
+    const double tv = mlups_of(kernel, "cats2_tv");
+    ratio_line(std::string(kernel) + ": wave engine speedup", plain, wave);
+    ratio_line(std::string(kernel) + ": temporal vec speedup", wave, tv);
+  }
+  for (const char* config : {"naive", "cats2_plain", "cats2_wave", "cats2_tv"}) {
+    ratio_line(std::string("const2d_f32/") + config + ": fp32 speedup",
+               mlups_of("const2d", config), mlups_of("const2d_f32", config));
   }
   return 0;
 }

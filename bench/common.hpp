@@ -136,6 +136,7 @@ double model_dram_bytes(const K& k, int T, const RunOptions& opt,
   in.slope = k.slope();
   in.wmax = std::max(1.0, static_cast<double>(d.wmax));
   in.tiles = opt.threads;
+  in.elem_bytes = kernel_element_bytes(k);
   double bytes = 0.0;
   bool cats = true;
   switch (c.scheme) {

@@ -19,15 +19,16 @@ struct TrafficInput {
   double n = 0;          ///< domain points N
   int t_steps = 0;       ///< T
   double bands = 0;      ///< NS coefficient streams (0 for constant stencils)
-  double state = 1.0;    ///< field doubles per point (3 for FDTD)
+  double state = 1.0;    ///< field elements per point (3 for FDTD)
   int slope = 1;
   double wmax = 0;       ///< traversal extent (CATS1 border term)
   int tiles = 1;         ///< parallel tiles (CATS1 border term)
+  double elem_bytes = 8; ///< storage bytes per element (4 for float)
 };
 
 /// Naive scheme: the full domain streams through memory every sweep.
 inline double naive_traffic_bytes(const TrafficInput& in) {
-  return in.t_steps * (2.0 * in.state + in.bands) * in.n * 8.0;
+  return in.t_steps * (2.0 * in.state + in.bands) * in.n * in.elem_bytes;
 }
 
 /// CATS1: one domain read+write (plus coefficients) per TZ-chunk, plus the
@@ -39,7 +40,7 @@ inline double cats1_traffic_bytes(const TrafficInput& in, int tz) {
   const double per_chunk =
       (2.0 * in.state + in.bands) * in.n +
       (in.state + in.bands) * in.tiles * 2.0 * in.slope * tz * in.n / in.wmax;
-  return chunks * per_chunk * 8.0;
+  return chunks * per_chunk * in.elem_bytes;
 }
 
 /// CATS2: diamond rows advance the whole domain by BZ/(2s) timesteps per
@@ -51,7 +52,7 @@ inline double cats2_traffic_bytes(const TrafficInput& in, std::int64_t bz) {
   // Border overhead: a diamond of width BZ shares ~2s-deep skewed edges with
   // its neighbors; the relative overhead per row is ~4s/BZ.
   const double border = 1.0 + 4.0 * in.slope / static_cast<double>(bz);
-  return rows * (2.0 * in.state + in.bands) * in.n * 8.0 * border;
+  return rows * (2.0 * in.state + in.bands) * in.n * in.elem_bytes * border;
 }
 
 /// Upper bound on achievable CATS speedup over naive for a bandwidth-bound

@@ -26,17 +26,34 @@
 
 namespace cats {
 
+// Each overload fills the plan's cache-model fields (plan/emit.hpp
+// apply_cache_model) so run()-path plans carry the same residency
+// certificate the static emit_plan pipeline produces — without it,
+// nt_store_eligible could never arm for direct run() calls.
+
 template <RowKernel1D K>
 void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
-  const plan_ir::TilePlan p =
+  plan_ir::TilePlan p =
       plan_ir::emit_cats1(1, k.width(), 1, 1, T, k.slope(), tz, opt.threads);
+  plan_ir::apply_cache_model(
+      p, Scheme::Cats1, DomainShape{k.width(), k.width(), 0, 1},
+      KernelCosts{k.slope(), effective_cs(k, opt.cs_slack),
+                  kernel_element_bytes(k)},
+      opt);
   plan_ir::run_plan(k, p, opt);
 }
 
 template <RowKernel2D K>
 void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
-  const plan_ir::TilePlan p = plan_ir::emit_cats1(
+  plan_ir::TilePlan p = plan_ir::emit_cats1(
       2, k.width(), k.height(), 1, T, k.slope(), tz, opt.threads);
+  plan_ir::apply_cache_model(
+      p, Scheme::Cats1,
+      DomainShape{static_cast<std::int64_t>(k.width()) * k.height(),
+                  k.height(), k.width(), 2},
+      KernelCosts{k.slope(), effective_cs(k, opt.cs_slack),
+                  kernel_element_bytes(k)},
+      opt);
   plan_ir::run_plan(k, p, opt);
 }
 
@@ -47,8 +64,16 @@ void run_cats1(K& k, int T, const RunOptions& opt, int tz) {
   // the same wave_team_width rule and backs each owner with a team.
   const int m = wave_team_width(3, Scheme::Cats1, opt);
   const int teams = m > 1 ? std::max(1, opt.threads / m) : opt.threads;
-  const plan_ir::TilePlan p = plan_ir::emit_cats1(
+  plan_ir::TilePlan p = plan_ir::emit_cats1(
       3, k.width(), k.height(), k.depth(), T, k.slope(), tz, teams);
+  plan_ir::apply_cache_model(
+      p, Scheme::Cats1,
+      DomainShape{
+          static_cast<std::int64_t>(k.width()) * k.height() * k.depth(),
+          k.depth(), k.height(), 3},
+      KernelCosts{k.slope(), effective_cs(k, opt.cs_slack),
+                  kernel_element_bytes(k)},
+      opt);
   plan_ir::run_plan(k, p, opt);
 }
 

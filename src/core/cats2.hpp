@@ -27,10 +27,19 @@
 
 namespace cats {
 
+// Cache-model fields: see run_cats1's note (plan/emit.hpp apply_cache_model).
+
 template <RowKernel2D K>
 void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
-  const plan_ir::TilePlan p = plan_ir::emit_cats2(
+  plan_ir::TilePlan p = plan_ir::emit_cats2(
       2, k.width(), k.height(), 1, T, k.slope(), bz, opt.threads);
+  plan_ir::apply_cache_model(
+      p, Scheme::Cats2,
+      DomainShape{static_cast<std::int64_t>(k.width()) * k.height(),
+                  k.height(), k.width(), 2},
+      KernelCosts{k.slope(), effective_cs(k, opt.cs_slack),
+                  kernel_element_bytes(k)},
+      opt);
   plan_ir::run_plan(k, p, opt);
 }
 
@@ -39,8 +48,16 @@ void run_cats2(K& k, int T, const RunOptions& opt, std::int64_t bz) {
   // Intra-tile teams: see run_cats1's 3D overload.
   const int m = wave_team_width(3, Scheme::Cats2, opt);
   const int teams = m > 1 ? std::max(1, opt.threads / m) : opt.threads;
-  const plan_ir::TilePlan p = plan_ir::emit_cats2(
+  plan_ir::TilePlan p = plan_ir::emit_cats2(
       3, k.width(), k.height(), k.depth(), T, k.slope(), bz, teams);
+  plan_ir::apply_cache_model(
+      p, Scheme::Cats2,
+      DomainShape{
+          static_cast<std::int64_t>(k.width()) * k.height() * k.depth(),
+          k.depth(), k.height(), 3},
+      KernelCosts{k.slope(), effective_cs(k, opt.cs_slack),
+                  kernel_element_bytes(k)},
+      opt);
   plan_ir::run_plan(k, p, opt);
 }
 

@@ -35,8 +35,17 @@ namespace cats {
 template <RowKernel3D K>
 void run_cats3(K& k, int T, const RunOptions& opt, std::int64_t bz,
                std::int64_t bx) {
-  const plan_ir::TilePlan p = plan_ir::emit_cats3(
+  plan_ir::TilePlan p = plan_ir::emit_cats3(
       k.width(), k.height(), k.depth(), T, k.slope(), bz, bx, opt.threads);
+  // Cache-model fields: see run_cats1 (plan/emit.hpp apply_cache_model).
+  plan_ir::apply_cache_model(
+      p, Scheme::Cats3,
+      DomainShape{
+          static_cast<std::int64_t>(k.width()) * k.height() * k.depth(),
+          k.depth(), k.height(), 3},
+      KernelCosts{k.slope(), effective_cs(k, opt.cs_slack),
+                  kernel_element_bytes(k)},
+      opt);
   plan_ir::run_plan(k, p, opt);
 }
 

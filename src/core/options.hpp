@@ -99,9 +99,23 @@ struct RunOptions {
   /// Temporal unroll of the in-cache wavefront (src/wave): fuse this many
   /// consecutive timesteps of one tile's wavefront chain through a staggered
   /// sweep. 0 = auto (fuse up to 4 where legal), 1 = off, 2..4 = fixed.
-  /// Bit-exact with the unfused walk; auto-disabled under an attached
-  /// dependence oracle and for team-owned tiles.
+  /// Values outside [0, 4] are clamped by run() with a one-time stderr
+  /// diagnostic (core/selector.hpp sanitize_unroll_t). Bit-exact with the
+  /// unfused walk; auto-disabled under an attached dependence oracle and for
+  /// team-owned tiles.
   int unroll_t = 0;
+
+  /// Temporal vectorization of the fused wavefront chain (src/wave,
+  /// wave/temporal_vec.hpp): sweep each fused group's rows through a sliding
+  /// register window, so every center-row x-neighborhood comes from one
+  /// aligned load plus in-register shuffles instead of 2s+1 overlapping
+  /// unaligned reloads. Opt-in; takes effect only where a
+  /// fused chain forms (unroll_t resolves > 1 and the kernel implements the
+  /// TV body). Kernels declare per-kernel bit-exactness vs. the plain walk
+  /// via `tv_bit_exact` (core/stencil.hpp kernel_tv_bit_exact); all in-tree
+  /// families preserve the identical operation tree, so results are
+  /// bit-identical.
+  bool temporal_vec = false;
 
   /// Threads cooperating on one 3D CATS1/CATS2 tile (intra-tile
   /// parallelization of the orthogonal y dimension). threads/team_size teams

@@ -107,6 +107,7 @@ SchemeChoice run(K& k, int T, const RunOptions& opt) {
   if constexpr (kernel_sequential_deps<K>()) {
     RunOptions serial = opt;
     serial.threads = 1;
+    serial.unroll_t = sanitize_unroll_t(serial.unroll_t);
     if (opt.scheme != Scheme::Naive) serial.scheme = Scheme::Cats1;
     const SchemeChoice choice = plan(k, T, serial);
     if (T <= 0) return choice;
@@ -125,6 +126,7 @@ SchemeChoice run(K& k, int T, const RunOptions& opt) {
   if (opt.tuning != Tuning::Off) {
     eff = apply_tuning(opt, kernel_tuning_id(k), domain_shape(k));
   }
+  eff.unroll_t = sanitize_unroll_t(eff.unroll_t);
   const SchemeChoice choice = plan(k, T, eff);
   if (T <= 0) return choice;
   // Dimensional fallbacks (CATS2 in 1D -> CATS1, CATS3 below 3D -> CATS2/1)

@@ -1,7 +1,9 @@
 #include "core/selector.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "bench_harness/machine.hpp"
@@ -175,6 +177,7 @@ RunOptions apply_tuning(const RunOptions& opt, const std::string& kernel_id,
   // wave_team_width at execution anyway.
   if (e->nt_stores >= 0) tuned.nt_stores = e->nt_stores != 0;
   if (e->unroll_t >= 0) tuned.unroll_t = e->unroll_t;
+  if (e->temporal_vec >= 0) tuned.temporal_vec = e->temporal_vec != 0;
   if (e->team_size > 0 && e->team_size <= opt.threads)
     tuned.team_size = e->team_size;
   if (e->prefetch_dist >= 0) tuned.prefetch_dist = e->prefetch_dist;
@@ -193,6 +196,22 @@ RunOptions apply_tuning(const RunOptions& opt, const std::string& kernel_id,
   }
   // Unrecognized scheme names (newer DB version) leave opt untouched.
   return tuned;
+}
+
+int sanitize_unroll_t(int unroll_t) {
+  // 4 = wave::kMaxUnroll; kept literal so the selector layer does not pull in
+  // the wave engine (a static_assert in engine.hpp pins the two together).
+  constexpr int kMax = 4;
+  if (unroll_t >= 0 && unroll_t <= kMax) return unroll_t;
+  const int clamped = unroll_t < 0 ? 0 : kMax;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "cats: unroll_t=%d outside [0, %d]; clamped to %d "
+                 "(0 = auto, 1 = off, 2..%d = fixed fuse depth)\n",
+                 unroll_t, kMax, clamped, kMax);
+  }
+  return clamped;
 }
 
 }  // namespace cats

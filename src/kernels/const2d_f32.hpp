@@ -3,106 +3,19 @@
 // "memory size of a data type" parameter: with 4-byte elements the same
 // cache holds twice as many wavefront points, so Eq. 1/2 produce TZ/BZ
 // roughly twice as deep as the double-precision kernels (element_bytes()).
+//
+// Since the fp32 precision path became first-class this is just the float
+// instantiation of the shared ConstStar2D body (const2d.hpp): it carries the
+// full kernel surface — NUMA-aware parallel_init, prefetch_front, NT-store
+// write-back (NtVecF), the fused wave micro-kernel, and the
+// temporally-vectorized chain body — not the read-only subset the kernel
+// started with.
 
-#include <array>
-#include <cstdint>
-#include <vector>
-#include <string>
-
-#include "grid/grid2d.hpp"
-#include "simd/vecd.hpp"
+#include "kernels/const2d.hpp"
 
 namespace cats {
 
 template <int S>
-class FloatStar2D {
-  static_assert(S >= 1 && S <= 4);
-
- public:
-  static constexpr int kPoints = 4 * S + 1;
-
-  struct Weights {
-    float center = 0.0f;
-    std::array<float, S> xm{}, xp{}, ym{}, yp{};
-  };
-
-  FloatStar2D(int width, int height, const Weights& w)
-      : w_(w), buf_{Grid2D<float>(width, height, S),
-                    Grid2D<float>(width, height, S)} {}
-
-  int width() const { return buf_[0].width(); }
-  int height() const { return buf_[0].height(); }
-  int slope() const { return S; }
-  double flops_per_point() const { return 8.0 * S + 1.0; }
-  double state_doubles_per_point() const { return 1.0; }  // state *elements*
-  double extra_cache_doubles_per_point() const { return 0.0; }
-  std::string tune_id() const { return "const2d_f32/s" + std::to_string(S); }
-  double element_bytes() const { return 4.0; }
-
-  template <class F>
-  void init(F&& f, float bnd = 0.0f) {
-    buf_[0].fill(bnd);
-    buf_[1].fill(bnd);
-    buf_[0].fill_interior(f);
-  }
-
-  const Grid2D<float>& grid_at(int t) const { return buf_[t & 1]; }
-
-  void copy_result_to(std::vector<double>& out, int T) const {
-    const Grid2D<float>& g = grid_at(T);
-    out.clear();
-    for (int y = 0; y < height(); ++y)
-      for (int x = 0; x < width(); ++x)
-        out.push_back(static_cast<double>(g.at(x, y)));
-  }
-
-  void process_row(int t, int y, int x0, int x1) {
-    const int x = span<simd::VecF>(t, y, x0, x1);
-    span<simd::ScalarF>(t, y, x, x1);
-  }
-
-  void process_row_scalar(int t, int y, int x0, int x1) {
-    span<simd::ScalarF>(t, y, x0, x1);
-  }
-
- private:
-  template <class V>
-  int span(int t, int y, int x0, int x1) {
-    const Grid2D<float>& src = buf_[(t - 1) & 1];
-    Grid2D<float>& dst = buf_[t & 1];
-    const float* c = src.row(y);
-    float* o = dst.row(y);
-    const float* rm[S];
-    const float* rp[S];
-    for (int k = 0; k < S; ++k) {
-      rm[k] = src.row(y - (k + 1));
-      rp[k] = src.row(y + (k + 1));
-    }
-    const V wc = V::broadcast(w_.center);
-    V wxm[S], wxp[S], wym[S], wyp[S];
-    for (int k = 0; k < S; ++k) {
-      const auto i = static_cast<std::size_t>(k);
-      wxm[k] = V::broadcast(w_.xm[i]);
-      wxp[k] = V::broadcast(w_.xp[i]);
-      wym[k] = V::broadcast(w_.ym[i]);
-      wyp[k] = V::broadcast(w_.yp[i]);
-    }
-    int x = x0;
-    for (; x + V::width <= x1; x += V::width) {
-      V acc = wc * V::load(c + x);
-      for (int k = 0; k < S; ++k) {
-        acc = V::fma(wxm[k], V::load(c + x - (k + 1)), acc);
-        acc = V::fma(wxp[k], V::load(c + x + (k + 1)), acc);
-        acc = V::fma(wym[k], V::load(rm[k] + x), acc);
-        acc = V::fma(wyp[k], V::load(rp[k] + x), acc);
-      }
-      acc.store(o + x);
-    }
-    return x;
-  }
-
-  Weights w_;
-  Grid2D<float> buf_[2];
-};
+using FloatStar2D = ConstStar2D<S, float>;
 
 }  // namespace cats

@@ -419,35 +419,39 @@ TilePlan emit_plan(const PlanRequest& rq) {
       break;
   }
 
+  apply_cache_model(p, choice.scheme, d, costs, rq.opt);
+  return p;
+}
+
+void apply_cache_model(TilePlan& p, Scheme scheme, const DomainShape& d,
+                       const KernelCosts& costs, const RunOptions& opt) {
   // resolve_cache_bytes already divides Z by opt.cache_tenants (multi-tenant
   // shard batching, src/serve); the plan records both the partitioned share
   // and the divisor so the residency certificate is explicit about the
   // contended budget it certifies.
-  const std::size_t z = resolve_cache_bytes(rq.opt);
+  const std::size_t z = resolve_cache_bytes(opt);
   p.cache_bytes = z;
-  p.cache_tenants = rq.opt.cache_tenants > 1 ? rq.opt.cache_tenants : 1;
-  p.cs_eff = rq.cs_eff;
-  p.elem_bytes = rq.elem_bytes;
-  switch (choice.scheme) {
+  p.cache_tenants = opt.cache_tenants > 1 ? opt.cache_tenants : 1;
+  p.cs_eff = costs.cs_eff;
+  p.elem_bytes = costs.elem_bytes;
+  switch (scheme) {
     case Scheme::Cats1:
-      p.certify_residency = rq.opt.tz_override == 0;
+      p.certify_residency = opt.tz_override == 0;
       p.clamped = p.certify_residency && compute_tz(z, d, costs) < 1;
       break;
     case Scheme::Cats2:
-      p.certify_residency = rq.opt.bz_override == 0;
-      p.clamped =
-          p.certify_residency && eq2_bz_raw(z, d, costs) < 2.0 * rq.slope;
+      p.certify_residency = opt.bz_override == 0;
+      p.clamped = p.certify_residency &&
+                  eq2_bz_raw(z, d, costs) < 2.0 * costs.slope;
       break;
     case Scheme::Cats3:
-      p.certify_residency =
-          rq.opt.bz_override == 0 && rq.opt.bx_override == 0;
-      p.clamped =
-          p.certify_residency && cats3_bz_raw(z, costs) < 2.0 * rq.slope;
+      p.certify_residency = opt.bz_override == 0 && opt.bx_override == 0;
+      p.clamped = p.certify_residency &&
+                  cats3_bz_raw(z, costs) < 2.0 * costs.slope;
       break;
     default:
       break;
   }
-  return p;
 }
 
 }  // namespace cats::plan_ir

@@ -57,4 +57,16 @@ struct PlanRequest {
 /// `clamped` when a selector floor was hit).
 TilePlan emit_plan(const PlanRequest& rq);
 
+/// Fill a freshly emitted plan's cache-model / residency-certification
+/// fields: the partitioned cache share (resolve_cache_bytes already divides
+/// by opt.cache_tenants), the per-point cost model (CS', element bytes), and
+/// per-scheme certify/clamped flags (certified only when the tile parameter
+/// came from Eq. 1/2, `clamped` when the selector floor inflated it past the
+/// cache bound). Shared by emit_plan and the executing schemes
+/// (core/cats*.hpp) so run()-path plans carry the same certificate the
+/// static pipeline produces — which is what arms nt_store_eligible for
+/// direct run() calls.
+void apply_cache_model(TilePlan& p, Scheme scheme, const DomainShape& d,
+                       const KernelCosts& costs, const RunOptions& opt);
+
 }  // namespace cats::plan_ir

@@ -8,6 +8,7 @@
 #include "cachesim/traffic_model.hpp"
 #include "core/run.hpp"
 #include "kernels/const2d.hpp"
+#include "kernels/const2d_f32.hpp"
 #include "kernels/const3d.hpp"
 #include "serve/protocol.hpp"
 
@@ -65,7 +66,8 @@ JobResult run_kernel(K& k, const JobRequest& rq, const RunOptions& opt,
                 ? static_cast<double>(n) * rq.t_steps / r.seconds / 1e6
                 : 0.0;
   r.model_dram_bytes =
-      model_bytes_for(exec, n, wmax, rq.t_steps, opt.threads, opt.nt_stores);
+      model_bytes_for(exec, n, wmax, rq.t_steps, opt.threads, opt.nt_stores,
+                      kernel_element_bytes(k));
 
   std::vector<double> grid;
   k.copy_result_to(grid, rq.t_steps);
@@ -93,7 +95,7 @@ std::uint64_t fnv1a(const std::vector<double>& v) {
 
 double model_bytes_for(const SchemeChoice& choice, std::int64_t n,
                        std::int64_t wmax, int t_steps, int tiles,
-                       bool nt_stores) {
+                       bool nt_stores, double elem_bytes) {
   if (t_steps <= 0 || n <= 0) return 0.0;
   TrafficInput in;
   in.n = static_cast<double>(n);
@@ -103,6 +105,7 @@ double model_bytes_for(const SchemeChoice& choice, std::int64_t n,
   in.slope = 1;
   in.wmax = static_cast<double>(std::max<std::int64_t>(wmax, 1));
   in.tiles = std::max(tiles, 1);
+  in.elem_bytes = elem_bytes;
   double bytes = 0.0;
   switch (choice.scheme) {
     case Scheme::Cats1:
@@ -140,6 +143,16 @@ JobResult execute_job(const JobRequest& rq, const ExecEnv& env,
         return init_value(rq.seed, x, y, z);
       });
       return run_kernel(k, rq, opt, rq.nz, out_grid);
+    }
+    if (rq.kernel == "const2d_f32") {
+      // Same deterministic seeding, rounded once to storage precision — the
+      // checksum still verifies bit-exactness between any two fp32 runs.
+      FloatStar2D<1> k(static_cast<int>(rq.nx), static_cast<int>(rq.ny),
+                       default_star2d_weights<1, float>());
+      k.parallel_init(opt, [&](int x, int y) {
+        return static_cast<float>(init_value(rq.seed, x, y, 0));
+      });
+      return run_kernel(k, rq, opt, rq.ny, out_grid);
     }
     ConstStar2D<1> k(static_cast<int>(rq.nx), static_cast<int>(rq.ny),
                      default_star2d_weights<1>());

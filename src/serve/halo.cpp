@@ -12,6 +12,7 @@
 #include "check/check.hpp"
 #include "core/run.hpp"
 #include "kernels/const2d.hpp"
+#include "kernels/const2d_f32.hpp"
 #include "kernels/const3d.hpp"
 
 namespace cats::serve {
@@ -59,6 +60,43 @@ struct Split2D {
     for (std::int64_t y = lo; y < lo + n; ++y)
       for (int x = 0; x < k.width(); ++x)
         out.push_back(g.at(x, static_cast<int>(y)));
+  }
+  static std::int64_t slice_points(const JobRequest& rq) { return rq.nx; }
+};
+
+/// Split2D's single-precision sibling: identical split geometry, float
+/// storage (4-byte slices; init rounds the shared deterministic seed to
+/// storage precision exactly like the single-shard executor, so sharded and
+/// unsharded fp32 runs stay bit-identical).
+struct Split2DF32 {
+  using Kernel = FloatStar2D<1>;
+  static constexpr int kGhost = 1;
+
+  static Kernel make(const JobRequest& rq, std::int64_t slices) {
+    return Kernel(static_cast<int>(rq.nx), static_cast<int>(slices),
+                  default_star2d_weights<1, float>());
+  }
+  static void init(Kernel& k, const RunOptions& opt, const JobRequest& rq,
+                   std::int64_t lo) {
+    k.parallel_init(opt, [&](int x, int y) {
+      return static_cast<float>(init_value(rq.seed, x, lo + y, 0));
+    });
+  }
+  static void copy_slice(Kernel& dst, std::int64_t dy, const Kernel& src,
+                         std::int64_t sy) {
+    const Grid2D<float>& s = src.grid_at(0);
+    Grid2D<float>& d = dst.grid_at(0);
+    std::memcpy(d.row(static_cast<int>(dy)) - kGhost,
+                s.row(static_cast<int>(sy)) - kGhost,
+                (static_cast<std::size_t>(dst.width()) + 2 * kGhost) *
+                    sizeof(float));
+  }
+  static void gather(const Kernel& k, int t, std::int64_t lo,
+                     std::int64_t n, std::vector<double>& out) {
+    const Grid2D<float>& g = k.grid_at(t);
+    for (std::int64_t y = lo; y < lo + n; ++y)
+      for (int x = 0; x < k.width(); ++x)
+        out.push_back(static_cast<double>(g.at(x, static_cast<int>(y))));
   }
   static std::int64_t slice_points(const JobRequest& rq) { return rq.nx; }
 };
@@ -170,7 +208,7 @@ JobResult run_split_impl(const JobRequest& rq, const ShardSchedule& sched,
           oc.choice = resolve_dispatch(choice, job_is_3d(rq) ? 3 : 2);
           oc.model_bytes += model_bytes_for(
               oc.choice, A::slice_points(rq) * n_loc, n_loc, st.tb,
-              opt.threads, opt.nt_stores);
+              opt.threads, opt.nt_stores, kernel_element_bytes(k));
           computed[i].publish(st.block + 1);
         } else {
           // Refresh this shard's halo slices from the neighbors' parity-0
@@ -286,6 +324,9 @@ JobResult run_split_job(const JobRequest& rq, const ShardSchedule& sched,
   }
   if (job_is_3d(rq)) {
     return run_split_impl<Split3D>(rq, sched, slots, env, out_grid);
+  }
+  if (rq.kernel == "const2d_f32") {
+    return run_split_impl<Split2DF32>(rq, sched, slots, env, out_grid);
   }
   return run_split_impl<Split2D>(rq, sched, slots, env, out_grid);
 }

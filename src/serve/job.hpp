@@ -30,9 +30,11 @@ struct JobRequest {
   /// Fair-share accounting key; independent tenants get proportional service.
   std::string tenant = "default";
 
-  /// Kernel family: "const2d" (5-point star) or "const3d" (7-point star),
-  /// both slope 1 with the default test weights — enough to exercise every
-  /// scheme while keeping the wire format closed over known kernels.
+  /// Kernel family: "const2d" (5-point star), "const2d_f32" (its
+  /// single-precision instantiation — half the bytes per point, so Eq. 1/2
+  /// size tiles twice as deep) or "const3d" (7-point star), all slope 1 with
+  /// the default test weights — enough to exercise every scheme while
+  /// keeping the wire format closed over known kernels.
   std::string kernel = "const2d";
 
   std::int64_t nx = 0, ny = 0, nz = 0;  ///< nz == 0 selects the 2D family
@@ -88,7 +90,7 @@ inline std::int64_t job_cost(const JobRequest& rq) {
 }
 
 inline bool kernel_known(const std::string& k) {
-  return k == "const2d" || k == "const3d";
+  return k == "const2d" || k == "const2d_f32" || k == "const3d";
 }
 
 /// Per-dimension and total-size caps the server enforces at admission. The

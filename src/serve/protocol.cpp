@@ -70,8 +70,8 @@ bool validate_job(const JobRequest& rq, std::string* err) {
   if (rq.nx < 1 || rq.ny < 1) return fail("nx and ny must be >= 1");
   if (rq.kernel == "const3d" && rq.nz < 1)
     return fail("const3d requires nz >= 1");
-  if (rq.kernel == "const2d" && rq.nz > 0)
-    return fail("const2d does not take nz");
+  if ((rq.kernel == "const2d" || rq.kernel == "const2d_f32") && rq.nz > 0)
+    return fail("2D kernel families do not take nz");
   if (rq.nx > kMaxExtent || rq.ny > kMaxExtent || rq.nz > kMaxExtent)
     return fail("extent exceeds per-dimension cap");
   if (job_points(rq) > kMaxPoints) return fail("domain exceeds point cap");

@@ -81,6 +81,7 @@ bool TuneDb::load(const std::string& path) {
     // caller's value", so old files stay fully usable.
     r.entry.nt_stores = static_cast<int>(e.get_int("nt_stores", -1));
     r.entry.unroll_t = static_cast<int>(e.get_int("unroll_t", -1));
+    r.entry.temporal_vec = static_cast<int>(e.get_int("temporal_vec", -1));
     r.entry.team_size = static_cast<int>(e.get_int("team_size", 0));
     r.entry.prefetch_dist = static_cast<int>(e.get_int("prefetch_dist", -1));
     r.entry.pilot_seconds = e.get_number("pilot_seconds");
@@ -117,6 +118,7 @@ bool TuneDb::save(const std::string& path) const {
        << "\"affinity\": " << json_quote(r.entry.affinity) << ", "
        << "\"nt_stores\": " << r.entry.nt_stores << ", "
        << "\"unroll_t\": " << r.entry.unroll_t << ", "
+       << "\"temporal_vec\": " << r.entry.temporal_vec << ", "
        << "\"team_size\": " << r.entry.team_size << ", "
        << "\"prefetch_dist\": " << r.entry.prefetch_dist << ", "
        << "\"pilot_seconds\": " << json_number(r.entry.pilot_seconds) << ", "

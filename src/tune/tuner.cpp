@@ -16,7 +16,8 @@ void push_unique(std::vector<Candidate>& out, const Candidate& c) {
     if (e.scheme == c.scheme && e.tz == c.tz && e.bz == c.bz &&
         e.bx == c.bx && e.affinity == c.affinity &&
         e.nt_stores == c.nt_stores && e.unroll_t == c.unroll_t &&
-        e.team_size == c.team_size && e.prefetch_dist == c.prefetch_dist)
+        e.temporal_vec == c.temporal_vec && e.team_size == c.team_size &&
+        e.prefetch_dist == c.prefetch_dist)
       return;
   }
   out.push_back(c);
@@ -100,6 +101,7 @@ RunOptions options_for_candidate(const RunOptions& base, const Candidate& c) {
   if (c.affinity >= 0) o.affinity = static_cast<AffinityPolicy>(c.affinity);
   if (c.nt_stores >= 0) o.nt_stores = c.nt_stores != 0;
   if (c.unroll_t >= 0) o.unroll_t = c.unroll_t;
+  if (c.temporal_vec >= 0) o.temporal_vec = c.temporal_vec != 0;
   if (c.team_size > 0) o.team_size = c.team_size;
   if (c.prefetch_dist >= 0) o.prefetch_dist = c.prefetch_dist;
   return o;

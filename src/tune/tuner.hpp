@@ -49,6 +49,7 @@ struct Candidate {
   int affinity = -1;
   int nt_stores = -1;      ///< -1 caller's; 0 off; 1 on
   int unroll_t = -1;       ///< -1 caller's; else RunOptions::unroll_t
+  int temporal_vec = -1;   ///< -1 caller's; 0 off; 1 on
   int team_size = 0;       ///< 0 caller's; else RunOptions::team_size
   int prefetch_dist = -1;  ///< -1 caller's; else RunOptions::prefetch_dist
 };
@@ -190,6 +191,13 @@ TuneResult search(MakeKernel&& make, int T, const RunOptions& base,
         c.unroll_t = u;
         probe(c);
       }
+      {
+        // Temporal vectorization only matters where a fused chain forms, so
+        // probe it after the unroll axis settled (it rides on the winner).
+        Candidate c = res.best;
+        c.temporal_vec = base.temporal_vec ? 0 : 1;
+        probe(c);
+      }
       if (d.dims == 3 && opt.threads > 1) {
         for (int ts : {2, 4}) {
           if (ts > opt.threads || ts == base.team_size) continue;
@@ -224,6 +232,7 @@ TuneResult search(MakeKernel&& make, int T, const RunOptions& base,
           : affinity_policy_name(static_cast<AffinityPolicy>(res.best.affinity));
   res.entry.nt_stores = res.best.nt_stores;
   res.entry.unroll_t = res.best.unroll_t;
+  res.entry.temporal_vec = res.best.temporal_vec;
   res.entry.team_size = res.best.team_size;
   res.entry.prefetch_dist = res.best.prefetch_dist;
   res.entry.pilot_seconds = res.best_seconds;

@@ -45,6 +45,9 @@ namespace cats::wave {
 /// working set outgrow what the micro-kernels can hold (core/options.hpp
 /// unroll_t).
 inline constexpr int kMaxUnroll = 4;
+// core/selector.cpp sanitize_unroll_t hardcodes this bound (the selector
+// layer does not include the wave engine); keep them in sync.
+static_assert(kMaxUnroll == 4);
 
 namespace detail {
 
@@ -75,6 +78,9 @@ class WaveWalker2D {
       }
       if constexpr (kernel_has_process_stages<K>) {
         unroll_ = detail::resolve_unroll(p, opt);
+      }
+      if constexpr (kernel_has_process_stages_tv<K>) {
+        tv_ = opt.temporal_vec;
       }
     }
   }
@@ -153,6 +159,14 @@ class WaveWalker2D {
         }
         k_->process_row(s.t, s.y, s.x0, s.x1);
       } else {
+        if constexpr (kernel_has_process_stages_tv<K>) {
+          if (tv_) {
+            k_->process_stages_tv(buf_, n_);
+            for (int g = 0; g < n_; ++g) fence_pending_ |= buf_[g].nt;
+            n_ = 0;
+            return;
+          }
+        }
         k_->process_stages(buf_, n_);
         for (int g = 0; g < n_; ++g) fence_pending_ |= buf_[g].nt;
       }
@@ -165,6 +179,7 @@ class WaveWalker2D {
   int unroll_ = 1;
   int pf_ = 0;
   bool nt_ = false;
+  bool tv_ = false;
   bool fence_pending_ = false;
   std::int64_t wave_ = 0;
   int n_ = 0;
@@ -183,6 +198,9 @@ class WaveWalker3D {
       }
       if constexpr (wave_fusable_v<K>) {
         unroll_ = detail::resolve_unroll(p, opt);
+      }
+      if constexpr (kernel_has_row_tv_3d<K>) {
+        tv_ = opt.temporal_vec;
       }
     }
   }
@@ -267,6 +285,14 @@ class WaveWalker3D {
         }
         fence_pending_ |= s.nt;
       } else {
+        if constexpr (kernel_has_row_tv_3d<K>) {
+          if (tv_) {
+            run_fused_3d_tv(*k_, buf_, n_, slope_);
+            for (int g = 0; g < n_; ++g) fence_pending_ |= buf_[g].nt;
+            n_ = 0;
+            return;
+          }
+        }
         run_fused_3d(*k_, buf_, n_, slope_);
         for (int g = 0; g < n_; ++g) fence_pending_ |= buf_[g].nt;
       }
@@ -279,6 +305,7 @@ class WaveWalker3D {
   int unroll_ = 1;
   int pf_ = 0;
   bool nt_ = false;
+  bool tv_ = false;
   bool fence_pending_ = false;
   std::int64_t wave_ = 0;
   int n_ = 0;

@@ -94,4 +94,26 @@ void run_fused_3d(K& k, const Stage3* st, int n, int s) {
   }
 }
 
+/// run_fused_3d with every row driven through the kernel's temporally-
+/// vectorized body (process_row_tv, see wave/temporal_vec.hpp): same
+/// row-staggered schedule, same stagger proof, identical per-point operation
+/// tree; the per-stage `nt` flag is threaded through instead of the
+/// process_row/process_row_nt split.
+template <class K>
+void run_fused_3d_tv(K& k, const Stage3* st, int n, int s) {
+  int rlo = st[0].ylo;
+  int rhi = st[0].yhi;
+  for (int g = 1; g < n; ++g) {
+    rlo = std::min(rlo, st[g].ylo + g * s);
+    rhi = std::max(rhi, st[g].yhi + g * s);
+  }
+  for (int r = rlo; r <= rhi; ++r) {
+    for (int g = 0; g < n; ++g) {
+      const int y = r - g * s;
+      if (y < st[g].ylo || y > st[g].yhi) continue;
+      k.process_row_tv(st[g].t, y, st[g].z, st[g].x0, st[g].x1, st[g].nt);
+    }
+  }
+}
+
 }  // namespace cats::wave

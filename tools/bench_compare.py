@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two bench_suite reports (BENCH_5.json) and fail on perf regression.
+"""Compare two bench_suite reports (BENCH_7.json) and fail on perf regression.
 
 Usage: bench_compare.py BASELINE.json NEW.json [--tolerance 0.15]
 
@@ -8,11 +8,17 @@ Both files are `bench_suite --json` outputs: one table of
 
 Raw MLUP/s is not comparable across machines (or across CI runners), so each
 row is first normalized by the same file's naive row for that kernel —
-"CATS2+wave is 2.1x naive" is a property of the code, not the machine. A row
-regresses when its normalized throughput drops more than --tolerance (15%
-default) below the baseline. The model B/pt column is compared exactly
-(tolerance 1%): the analytic traffic model is deterministic, so any drift
-there is a real accounting change, not noise.
+"CATS2+wave is 2.1x naive" is a property of the code, not the machine. Rows
+are grouped per precision (the kernel name's `_f32` suffix): every fp32
+family carries its own naive/plain anchors, so a normalized fp32 ratio never
+mixes precisions, and the cross-precision fp32/fp64 speedup is reported
+separately per config (informational — raw-throughput ratios are noisier
+than normalized ones, so they do not gate). A row regresses when its
+normalized throughput drops more than --tolerance (15% default) below the
+baseline. The model B/pt column is compared exactly (tolerance 1%): the
+analytic traffic model is deterministic, so any drift there is a real
+accounting change, not noise — in particular the fp32 rows must model
+element size E=4, half the fp64 bytes per point.
 
 Exit status: 0 clean, 1 regression(s), 2 malformed input.
 """
@@ -47,13 +53,58 @@ def load_rows(path):
     sys.exit(2)
 
 
+def precision_of(kernel):
+    return "fp32" if kernel.endswith("_f32") else "fp64"
+
+
 def normalized(rows):
-    """MLUP/s of each row divided by its kernel's naive row (1.0 if absent)."""
+    """MLUP/s of each row divided by its kernel's naive row (1.0 if absent).
+
+    The naive anchor is always the same kernel — hence the same precision —
+    so normalized ratios stay within one precision group by construction.
+    """
     out = {}
     for (kernel, config), (mlups, bpp) in rows.items():
         naive = rows.get((kernel, "naive"), (0.0, 0.0))[0]
         out[(kernel, config)] = (mlups / naive if naive > 0 else 0.0, bpp)
     return out
+
+
+def compare_group(base, new, keys, tolerance, failures):
+    for key in sorted(keys):
+        if key not in new:
+            failures.append(f"{key[0]}/{key[1]}: row missing from new report")
+            continue
+        b_rel, b_bpp = base[key]
+        n_rel, n_bpp = new[key]
+        delta = (n_rel - b_rel) / b_rel if b_rel > 0 else 0.0
+        flag = ""
+        if b_rel > 0 and n_rel < b_rel * (1.0 - tolerance):
+            failures.append(
+                f"{key[0]}/{key[1]}: normalized MLUP/s {n_rel:.3f} < "
+                f"{b_rel:.3f} - {tolerance:.0%}")
+            flag = "  << REGRESSION"
+        if b_bpp > 0 and abs(n_bpp - b_bpp) / b_bpp > 0.01:
+            failures.append(
+                f"{key[0]}/{key[1]}: model B/pt changed {b_bpp} -> {n_bpp}")
+            flag = "  << MODEL CHANGE"
+        print(f"{key[0]:<12} {key[1]:<12} {b_rel:>10.3f} {n_rel:>10.3f} "
+              f"{delta:>+7.1%}  {n_bpp:>6.2f}{flag}")
+
+
+def print_precision_ratios(raw, label):
+    """fp32/fp64 raw-throughput ratio per (base kernel, config) pair."""
+    pairs = sorted({(k[:-4], c) for (k, c) in raw if k.endswith("_f32")})
+    lines = []
+    for kernel, config in pairs:
+        f32 = raw.get((kernel + "_f32", config), (0.0, 0.0))[0]
+        f64 = raw.get((kernel, config), (0.0, 0.0))[0]
+        if f32 > 0 and f64 > 0:
+            lines.append(f"  {kernel}/{config}: {f32 / f64:.2f}x")
+    if lines:
+        print(f"\nfp32/fp64 raw speedup ({label}, informational):")
+        for line in lines:
+            print(line)
 
 
 def main():
@@ -64,31 +115,24 @@ def main():
                     help="allowed fractional drop in normalized MLUP/s")
     args = ap.parse_args()
 
-    base = normalized(load_rows(args.baseline))
-    new = normalized(load_rows(args.new))
+    base_raw = load_rows(args.baseline)
+    new_raw = load_rows(args.new)
+    base = normalized(base_raw)
+    new = normalized(new_raw)
 
     failures = []
-    print(f"{'kernel':<10} {'config':<12} {'base(rel)':>10} {'new(rel)':>10} "
-          f"{'delta':>8}  {'B/pt':>6}")
-    for key in sorted(base):
-        if key not in new:
-            failures.append(f"{key[0]}/{key[1]}: row missing from new report")
+    header = (f"{'kernel':<12} {'config':<12} {'base(rel)':>10} "
+              f"{'new(rel)':>10} {'delta':>8}  {'B/pt':>6}")
+    for precision in ("fp64", "fp32"):
+        keys = [k for k in base if precision_of(k[0]) == precision]
+        if not keys:
             continue
-        b_rel, b_bpp = base[key]
-        n_rel, n_bpp = new[key]
-        delta = (n_rel - b_rel) / b_rel if b_rel > 0 else 0.0
-        flag = ""
-        if b_rel > 0 and n_rel < b_rel * (1.0 - args.tolerance):
-            failures.append(
-                f"{key[0]}/{key[1]}: normalized MLUP/s {n_rel:.3f} < "
-                f"{b_rel:.3f} - {args.tolerance:.0%}")
-            flag = "  << REGRESSION"
-        if b_bpp > 0 and abs(n_bpp - b_bpp) / b_bpp > 0.01:
-            failures.append(
-                f"{key[0]}/{key[1]}: model B/pt changed {b_bpp} -> {n_bpp}")
-            flag = "  << MODEL CHANGE"
-        print(f"{key[0]:<10} {key[1]:<12} {b_rel:>10.3f} {n_rel:>10.3f} "
-              f"{delta:>+7.1%}  {n_bpp:>6.2f}{flag}")
+        print(f"-- {precision} --")
+        print(header)
+        compare_group(base, new, keys, args.tolerance, failures)
+        print()
+
+    print_precision_ratios(new_raw, "new")
 
     if failures:
         print(f"\n{len(failures)} regression(s) vs {args.baseline}:",
