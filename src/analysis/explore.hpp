@@ -1,0 +1,68 @@
+#pragma once
+// Exhaustive interleaving explorer for the sync-protocol model checker
+// (src/analysis; DESIGN.md §15).
+//
+// explore() runs a Scenario — a fixed set of thread bodies exercising
+// shim-templated primitives over SimShim (analysis/sim_shim.hpp) — under
+// *stateless* depth-first search: each execution replays a stack of
+// decisions (which thread steps next; which store a load reads) and
+// extends it at the first fresh decision point; backtracking advances the
+// deepest non-exhausted choice. Real std::threads run the bodies under a
+// strict handoff (exactly one runnable at a time), so the production
+// primitive code executes unmodified.
+//
+// Reduction is DPOR-style via sleep sets: after a thread's subtree is
+// explored at a scheduling point, the thread sleeps in the sibling
+// subtrees until some executed operation is *dependent* with its pending
+// one (same location, at least one write; a parked thread's pending reads
+// are its spin set). Executions whose candidate set empties out are pruned
+// as redundant. Spin loops stay finite: pause()/yield() park the thread,
+// a parked thread is schedulable only when a fresh store lands on a spin
+// location, and the forced wake-read consumes it.
+//
+// A counterexample — data race, failed sim_check, or deadlock (all
+// unfinished threads parked with nothing fresh to read) — aborts the
+// search and carries the full interleaving trace. Exceeding the execution
+// or step caps is a hard error, never a silent pass.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cats {
+namespace analysis {
+
+struct Scenario {
+  std::string name;
+  int nthreads = 2;
+  /// Called once per execution on the explorer thread: construct the world
+  /// (primitives register their cells with the active simulation) and
+  /// return one body per thread; the closures own the world.
+  std::function<std::vector<std::function<void()>>()> make;
+};
+
+struct ExploreLimits {
+  long long max_executions = 2'000'000;
+  int max_steps = 20'000;  ///< per-execution scheduled operations
+};
+
+struct Counterexample {
+  std::string reason;
+  std::vector<std::string> trace;  ///< full interleaving, one op per line
+};
+
+struct ExploreResult {
+  bool ok = false;             ///< every interleaving passed
+  std::string error;           ///< nonempty: cap exceeded / internal error
+  std::vector<Counterexample> cex;  ///< first counterexample found
+  long long executions = 0;
+  long long pruned = 0;        ///< sleep-set-redundant executions
+  int max_depth = 0;
+
+  bool has_cex() const { return !cex.empty(); }
+};
+
+ExploreResult explore(const Scenario& sc, const ExploreLimits& lim = {});
+
+}  // namespace analysis
+}  // namespace cats

@@ -1,0 +1,101 @@
+#pragma once
+// Simulated substrate for the sync primitives (src/analysis model checker).
+//
+// SimShim satisfies the same policy contract as RealSyncShim
+// (threads/sync_shim.hpp), so BasicSpinBarrier<SimShim>,
+// BasicProgressCell<SimShim>, ... are the *production algorithm bodies*
+// executing against the weak-memory interpreter: every atomic operation
+// announces itself to the explorer (analysis/explore.hpp), which picks the
+// interleaving and — for loads — the store read, per
+// analysis/weak_memory.hpp. pause()/yield() park the thread: a parked
+// thread is schedulable only once a fresh store lands on a location it
+// read since the last park, which is what makes spin loops finite to
+// explore (each wake consumes a new store, and the first probe of every
+// wait is still free to read stale values).
+//
+// All sim_* entry points require an active exploration on this thread
+// (they are called from scenario bodies running under explore()); they are
+// implemented in analysis/explore.cpp.
+
+#include <atomic>
+#include <cstdint>
+
+#include "threads/sync_observer.hpp"
+
+namespace cats {
+namespace analysis {
+
+/// Label the next locations registered via SimAtomic construction, in
+/// order. Call immediately before constructing a primitive so
+/// counterexample traces name its cells ("count_", "sense_", ...).
+void sim_name_locs(std::initializer_list<const char*> names);
+
+int sim_new_loc(long long init);
+long long sim_load(int loc, std::memory_order mo);
+void sim_store(int loc, long long v, std::memory_order mo);
+long long sim_rmw_add(int loc, long long delta, std::memory_order mo);
+long long sim_rmw_xchg(int loc, long long v, std::memory_order mo);
+void sim_park();
+
+int sim_data_new(const char* name);
+long long sim_data_read(int id);
+void sim_data_write(int id, long long v);
+
+/// Scenario assertion: a false condition is a counterexample (the trace is
+/// attached by the explorer).
+void sim_check(bool cond, const char* what);
+
+/// Atomic cell facade with the std::atomic member signatures the
+/// primitives use (load/store/fetch_add/exchange with explicit orders).
+template <class T>
+class SimAtomic {
+ public:
+  SimAtomic(T v = T{}) : loc_(sim_new_loc(static_cast<long long>(v))) {}
+  SimAtomic(const SimAtomic&) = delete;
+  SimAtomic& operator=(const SimAtomic&) = delete;
+
+  T load(std::memory_order mo) const {
+    return static_cast<T>(sim_load(loc_, mo));
+  }
+  void store(T v, std::memory_order mo) {
+    sim_store(loc_, static_cast<long long>(v), mo);
+  }
+  T fetch_add(T v, std::memory_order mo) {
+    return static_cast<T>(sim_rmw_add(loc_, static_cast<long long>(v), mo));
+  }
+  T exchange(T v, std::memory_order mo) {
+    return static_cast<T>(sim_rmw_xchg(loc_, static_cast<long long>(v), mo));
+  }
+
+ private:
+  int loc_;
+};
+
+struct SimShim {
+  template <class T>
+  using Atomic = SimAtomic<T>;
+
+  static void pause(int& /*exponent*/) { sim_park(); }
+  static void yield() { sim_park(); }
+  static SyncObserver* observer() noexcept { return nullptr; }
+  static std::int64_t now_ns() { return 0; }
+};
+
+/// Non-atomic shared variable: accesses are *not* scheduling points; the
+/// interpreter race-checks them with vector clocks (TSan-style, order
+/// independent), so a weakened annotation shows up as a data race here.
+class SimData {
+ public:
+  explicit SimData(const char* name) : id_(sim_data_new(name)) {}
+  SimData(const SimData&) = delete;
+  SimData& operator=(const SimData&) = delete;
+
+  long long read() const { return sim_data_read(id_); }
+  void write(long long v) { sim_data_write(id_, v); }
+
+ private:
+  int id_;
+};
+
+}  // namespace analysis
+}  // namespace cats

@@ -5,10 +5,15 @@
 // unit-stride SIMD like the values). The matrix entries for the current
 // wavefront must reside in cache too, so CS is augmented by NS (the paper
 // replaces CS by CS + NS in Eqs. 1-2) — extra_cache_doubles_per_point().
+//
+// Templated on the element type T like ConstStar2D: one stencil body serves
+// fp64, fp32 and the footprint analyzer's recording elements via
+// simd::vec_traits (src/analysis/record.hpp).
 
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -21,9 +26,11 @@
 
 namespace cats {
 
-template <int S>
+template <int S, class T = double>
 class Banded2D {
   static_assert(S >= 1 && S <= 4);
+  // Any element type with a simd::vec_traits mapping is admissible.
+  static_assert(requires { typename simd::vec_traits<T>::Vec; });
 
  public:
   static constexpr int kBands = 4 * S + 1;  // NS
@@ -33,8 +40,8 @@ class Banded2D {
   static constexpr bool tv_bit_exact = true;
 
   Banded2D(int width, int height)
-      : buf_{Grid2D<double>(width, height, S, kDeferFirstTouch),
-             Grid2D<double>(width, height, S, kDeferFirstTouch)} {
+      : buf_{Grid2D<T>(width, height, S, kDeferFirstTouch),
+             Grid2D<T>(width, height, S, kDeferFirstTouch)} {
     bands_.reserve(kBands);
     for (int b = 0; b < kBands; ++b) bands_.emplace_back(width, height, S);
   }
@@ -45,13 +52,21 @@ class Banded2D {
   double flops_per_point() const { return 8.0 * S + 1.0; }
   double state_doubles_per_point() const { return 1.0; }
   double extra_cache_doubles_per_point() const { return kBands; }
-  std::string tune_id() const { return "banded2d/s" + std::to_string(S); }
+  /// Bytes per stored element — parameterizes Eq. 1/2 tile sizing.
+  double element_bytes() const { return static_cast<double>(sizeof(T)); }
+  std::string tune_id() const {
+    if constexpr (std::is_same_v<T, float>) {
+      return "banded2d_f32/s" + std::to_string(S);
+    } else {
+      return "banded2d/s" + std::to_string(S);
+    }
+  }
 
   /// Band order: 0 = center, then per k=1..S: x-k, x+k, y-k, y+k.
-  Grid2D<double>& band(int b) { return bands_[static_cast<std::size_t>(b)]; }
+  Grid2D<T>& band(int b) { return bands_[static_cast<std::size_t>(b)]; }
 
   template <class F>
-  void init(F&& f, double bnd = 0.0) {
+  void init(F&& f, T bnd = 0) {
     buf_[0].fill(bnd);
     buf_[1].fill(bnd);
     buf_[0].fill_interior(f);
@@ -60,7 +75,7 @@ class Banded2D {
   /// init() with NUMA-aware placement (see threads/first_touch.hpp). Band
   /// coefficient grids are placed by init_bands (serial, read-shared).
   template <class F>
-  void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
+  void parallel_init(const RunOptions& opt, F&& f, T bnd = 0) {
     const int W = width();
     first_touch_slabs(height(), S, opt.threads, opt.affinity,
                       [&](int, int y0, int y1) {
@@ -78,11 +93,12 @@ class Banded2D {
   /// values).
   void prefetch_front(int t, int p, int lines) const {
     const int y = std::min(p + S, height() - 1 + S);
-    const double* r = buf_[(t - 1) & 1].row(y);
-    const double* b = bands_[0].row(std::min(y, height() - 1 + S));
+    const T* r = buf_[(t - 1) & 1].row(y);
+    const T* b = bands_[0].row(std::min(y, height() - 1 + S));
+    constexpr int kPerLine = static_cast<int>(64 / sizeof(T));
     for (int i = 0; i < lines; ++i) {
-      simd::prefetch_read(r + i * 8);
-      simd::prefetch_read(b + i * 8);
+      simd::prefetch_read(r + i * kPerLine);
+      simd::prefetch_read(b + i * kPerLine);
     }
   }
 
@@ -94,28 +110,29 @@ class Banded2D {
           [&](int x, int y) { return g(b, x, y); });
   }
 
-  const Grid2D<double>& grid_at(int t) const { return buf_[t & 1]; }
+  const Grid2D<T>& grid_at(int t) const { return buf_[t & 1]; }
 
-  void copy_result_to(std::vector<double>& out, int T) const {
-    const Grid2D<double>& g = grid_at(T);
+  void copy_result_to(std::vector<double>& out, int T_) const {
+    const Grid2D<T>& g = grid_at(T_);
     out.clear();
     for (int y = 0; y < height(); ++y)
-      for (int x = 0; x < width(); ++x) out.push_back(g.at(x, y));
+      for (int x = 0; x < width(); ++x)
+        out.push_back(static_cast<double>(g.at(x, y)));
   }
 
   void process_row(int t, int y, int x0, int x1) {
-    const int x = span<simd::VecD>(t, y, x0, x1);
-    span<simd::ScalarD>(t, y, x, x1);
+    const int x = span<Vec>(t, y, x0, x1);
+    span<Sc>(t, y, x, x1);
   }
 
   void process_row_scalar(int t, int y, int x0, int x1) {
-    span<simd::ScalarD>(t, y, x0, x1);
+    span<Sc>(t, y, x0, x1);
   }
 
   /// Non-temporal write-back path (see ConstStar2D::process_row_nt).
   void process_row_nt(int t, int y, int x0, int x1) {
-    const int x = span<simd::NtVecD>(t, y, x0, x1);
-    span<simd::ScalarD>(t, y, x, x1);
+    const int x = span<NtV>(t, y, x0, x1);
+    span<Sc>(t, y, x, x1);
   }
 
   /// Register-tiled temporal micro-kernel (see ConstStar2D::process_stages
@@ -128,7 +145,7 @@ class Banded2D {
     int base = st[0].x0;
     int hi = st[0].x1;
     resolve_stages(st, n, sg, base, hi);
-    using V = simd::VecD;
+    using V = Vec;
     constexpr int kChunk =
         kWaveChunkVecs * V::width >= S
             ? kWaveChunkVecs * V::width
@@ -143,9 +160,9 @@ class Banded2D {
         const int b = std::min(s.x1, base + (ci + 1) * kChunk);
         if (a >= b) continue;
         if (s.nt) {
-          stage_chunk<simd::NtVecD>(s, a, b);
+          stage_chunk<NtV>(s, a, b);
         } else {
-          stage_chunk<simd::VecD>(s, a, b);
+          stage_chunk<Vec>(s, a, b);
         }
       }
     }
@@ -157,7 +174,7 @@ class Banded2D {
   /// stride, no shuffle needed). Identical operation tree per point as
   /// process_stages (tv_bit_exact).
   void process_stages_tv(const WaveStage* st, int n) {
-    using V = simd::VecD;
+    using V = Vec;
     Stage sg[4];
     int base = st[0].x0;
     int hi = st[0].x1;
@@ -186,7 +203,6 @@ class Banded2D {
       return acc;
     };
     auto sc_body = [&](const Stage& s, int a, int b) {
-      using Sc = simd::ScalarD;
       for (int x = a; x < b; ++x) {
         Sc acc = Sc::load(s.bc + x) * Sc::load(s.c + x);
         for (int k = 0; k < S; ++k) {
@@ -200,18 +216,21 @@ class Banded2D {
         acc.store(s.o + x);
       }
     };
-    wave::run_stages_tv<S, V, simd::NtVecD, double>(sg, n, win_body, vec_body,
-                                                    sc_body);
+    wave::run_stages_tv<S, V, NtV, T>(sg, n, win_body, vec_body, sc_body);
   }
 
  private:
+  using Vec = typename simd::vec_traits<T>::Vec;
+  using Sc = typename simd::vec_traits<T>::Scalar;
+  using NtV = typename simd::vec_traits<T>::Nt;
+
   struct Stage {
-    const double* c;
-    double* o;
-    const double* rm[S];
-    const double* rp[S];
-    const double* bc;
-    const double *bxm[S], *bxp[S], *bym[S], *byp[S];
+    const T* c;
+    T* o;
+    const T* rm[S];
+    const T* rp[S];
+    const T* bc;
+    const T *bxm[S], *bxp[S], *bym[S], *byp[S];
     int x0, x1;
     bool nt;
   };
@@ -219,8 +238,8 @@ class Banded2D {
   void resolve_stages(const WaveStage* st, int n, Stage* sg, int& base,
                       int& hi) {
     for (int g = 0; g < n; ++g) {
-      const Grid2D<double>& src = buf_[(st[g].t - 1) & 1];
-      Grid2D<double>& dst = buf_[st[g].t & 1];
+      const Grid2D<T>& src = buf_[(st[g].t - 1) & 1];
+      Grid2D<T>& dst = buf_[st[g].t & 1];
       const int y = st[g].y;
       Stage& s = sg[g];
       s.c = src.row(y);
@@ -243,11 +262,11 @@ class Banded2D {
     }
   }
 
-  /// One x-chunk of one stage: vector body then ScalarD tail. All operands
+  /// One x-chunk of one stage: vector body then scalar tail. All operands
   /// are loads (the banded stencil broadcasts nothing), so the generic
   /// vector body serves both store flavors directly.
-  template <class V, class Stage>
-  void stage_chunk(const Stage& s, int a, int b) {
+  template <class V, class StageT>
+  void stage_chunk(const StageT& s, int a, int b) {
     int x = a;
     for (; x + V::width <= b; x += V::width) {
       V acc = V::load(s.bc + x) * V::load(s.c + x);
@@ -259,7 +278,6 @@ class Banded2D {
       }
       acc.store(s.o + x);
     }
-    using Sc = simd::ScalarD;
     for (; x < b; ++x) {
       Sc acc = Sc::load(s.bc + x) * Sc::load(s.c + x);
       for (int k = 0; k < S; ++k) {
@@ -274,14 +292,14 @@ class Banded2D {
 
   template <class V>
   int span(int t, int y, int x0, int x1) {
-    const Grid2D<double>& src = buf_[(t - 1) & 1];
-    Grid2D<double>& dst = buf_[t & 1];
-    const double* c = src.row(y);
-    double* o = dst.row(y);
-    const double* rm[S];
-    const double* rp[S];
-    const double* bc = bands_[0].row(y);
-    const double *bxm[S], *bxp[S], *bym[S], *byp[S];
+    const Grid2D<T>& src = buf_[(t - 1) & 1];
+    Grid2D<T>& dst = buf_[t & 1];
+    const T* c = src.row(y);
+    T* o = dst.row(y);
+    const T* rm[S];
+    const T* rp[S];
+    const T* bc = bands_[0].row(y);
+    const T *bxm[S], *bxp[S], *bym[S], *byp[S];
     for (int k = 0; k < S; ++k) {
       rm[k] = src.row(y - (k + 1));
       rp[k] = src.row(y + (k + 1));
@@ -305,8 +323,8 @@ class Banded2D {
     return x;
   }
 
-  Grid2D<double> buf_[2];
-  std::vector<Grid2D<double>> bands_;
+  Grid2D<T> buf_[2];
+  std::vector<Grid2D<T>> bands_;
 };
 
 }  // namespace cats

@@ -1,10 +1,15 @@
 #pragma once
 // Variable-coefficient star stencil in 3D = banded-matrix vector product
 // with NS = 6S+1 bands (7 bands for slope 1 — the paper's Figs. 11/12).
+//
+// Templated on the element type T like ConstStar3D: one stencil body serves
+// fp64, fp32 and the footprint analyzer's recording elements via
+// simd::vec_traits (src/analysis/record.hpp).
 
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -16,9 +21,11 @@
 
 namespace cats {
 
-template <int S>
+template <int S, class T = double>
 class Banded3D {
   static_assert(S >= 1 && S <= 4);
+  // Any element type with a simd::vec_traits mapping is admissible.
+  static_assert(requires { typename simd::vec_traits<T>::Vec; });
 
  public:
   static constexpr int kBands = 6 * S + 1;  // NS
@@ -31,8 +38,8 @@ class Banded3D {
   static constexpr bool tv_bit_exact = true;
 
   Banded3D(int width, int height, int depth)
-      : buf_{Grid3D<double>(width, height, depth, S, kDeferFirstTouch),
-             Grid3D<double>(width, height, depth, S, kDeferFirstTouch)} {
+      : buf_{Grid3D<T>(width, height, depth, S, kDeferFirstTouch),
+             Grid3D<T>(width, height, depth, S, kDeferFirstTouch)} {
     bands_.reserve(kBands);
     for (int b = 0; b < kBands; ++b)
       bands_.emplace_back(width, height, depth, S);
@@ -45,13 +52,21 @@ class Banded3D {
   double flops_per_point() const { return 12.0 * S + 1.0; }
   double state_doubles_per_point() const { return 1.0; }
   double extra_cache_doubles_per_point() const { return kBands; }
-  std::string tune_id() const { return "banded3d/s" + std::to_string(S); }
+  /// Bytes per stored element — parameterizes Eq. 1/2 tile sizing.
+  double element_bytes() const { return static_cast<double>(sizeof(T)); }
+  std::string tune_id() const {
+    if constexpr (std::is_same_v<T, float>) {
+      return "banded3d_f32/s" + std::to_string(S);
+    } else {
+      return "banded3d/s" + std::to_string(S);
+    }
+  }
 
   /// Band order: 0 = center, then per k=1..S: x-k, x+k, y-k, y+k, z-k, z+k.
-  Grid3D<double>& band(int b) { return bands_[static_cast<std::size_t>(b)]; }
+  Grid3D<T>& band(int b) { return bands_[static_cast<std::size_t>(b)]; }
 
   template <class F>
-  void init(F&& f, double bnd = 0.0) {
+  void init(F&& f, T bnd = 0) {
     buf_[0].fill(bnd);
     buf_[1].fill(bnd);
     buf_[0].fill_interior(f);
@@ -60,7 +75,7 @@ class Banded3D {
   /// init() with NUMA-aware placement (see threads/first_touch.hpp). Band
   /// coefficient grids are placed by init_bands (serial, read-shared).
   template <class F>
-  void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
+  void parallel_init(const RunOptions& opt, F&& f, T bnd = 0) {
     const int W = width(), H = height();
     first_touch_slabs(depth(), S, opt.threads, opt.affinity,
                       [&](int, int z0, int z1) {
@@ -78,11 +93,12 @@ class Banded3D {
   /// its center-band coefficients.
   void prefetch_front(int t, int p, int lines) const {
     const int z = std::min(p + S, depth() - 1 + S);
-    const double* r = buf_[(t - 1) & 1].row(0, z);
-    const double* b = bands_[0].row(0, z);
+    const T* r = buf_[(t - 1) & 1].row(0, z);
+    const T* b = bands_[0].row(0, z);
+    constexpr int kPerLine = static_cast<int>(64 / sizeof(T));
     for (int i = 0; i < lines; ++i) {
-      simd::prefetch_read(r + i * 8);
-      simd::prefetch_read(b + i * 8);
+      simd::prefetch_read(r + i * kPerLine);
+      simd::prefetch_read(b + i * kPerLine);
     }
   }
 
@@ -93,29 +109,30 @@ class Banded3D {
           [&](int x, int y, int z) { return g(b, x, y, z); });
   }
 
-  const Grid3D<double>& grid_at(int t) const { return buf_[t & 1]; }
+  const Grid3D<T>& grid_at(int t) const { return buf_[t & 1]; }
 
-  void copy_result_to(std::vector<double>& out, int T) const {
-    const Grid3D<double>& g = grid_at(T);
+  void copy_result_to(std::vector<double>& out, int T_) const {
+    const Grid3D<T>& g = grid_at(T_);
     out.clear();
     for (int z = 0; z < depth(); ++z)
       for (int y = 0; y < height(); ++y)
-        for (int x = 0; x < width(); ++x) out.push_back(g.at(x, y, z));
+        for (int x = 0; x < width(); ++x)
+          out.push_back(static_cast<double>(g.at(x, y, z)));
   }
 
   void process_row(int t, int y, int z, int x0, int x1) {
-    const int x = span<simd::VecD>(t, y, z, x0, x1);
-    span<simd::ScalarD>(t, y, z, x, x1);
+    const int x = span<Vec>(t, y, z, x0, x1);
+    span<Sc>(t, y, z, x, x1);
   }
 
   void process_row_scalar(int t, int y, int z, int x0, int x1) {
-    span<simd::ScalarD>(t, y, z, x0, x1);
+    span<Sc>(t, y, z, x0, x1);
   }
 
   /// Non-temporal write-back path (see ConstStar3D::process_row_nt).
   void process_row_nt(int t, int y, int z, int x0, int x1) {
-    const int x = span<simd::NtVecD>(t, y, z, x0, x1);
-    span<simd::ScalarD>(t, y, z, x, x1);
+    const int x = span<NtV>(t, y, z, x0, x1);
+    span<Sc>(t, y, z, x, x1);
   }
 
   /// Temporally-vectorized row body (see ConstStar3D::process_row_tv): the
@@ -131,18 +148,22 @@ class Banded3D {
   }
 
  private:
+  using Vec = typename simd::vec_traits<T>::Vec;
+  using Sc = typename simd::vec_traits<T>::Scalar;
+  using NtV = typename simd::vec_traits<T>::Nt;
+
   template <bool NT>
   void row_tv(int t, int y, int z, int x0, int x1) {
-    using V = simd::VecD;
+    using V = Vec;
     constexpr int W = V::width;
     constexpr int Q = (S + W - 1) / W;
-    const Grid3D<double>& src = buf_[(t - 1) & 1];
-    Grid3D<double>& dst = buf_[t & 1];
-    const double* c = src.row(y, z);
-    double* o = dst.row(y, z);
-    const double *rym[S], *ryp[S], *rzm[S], *rzp[S];
-    const double* bc = bands_[0].row(y, z);
-    const double *bxm[S], *bxp[S], *bym[S], *byp[S], *bzm[S], *bzp[S];
+    const Grid3D<T>& src = buf_[(t - 1) & 1];
+    Grid3D<T>& dst = buf_[t & 1];
+    const T* c = src.row(y, z);
+    T* o = dst.row(y, z);
+    const T *rym[S], *ryp[S], *rzm[S], *rzp[S];
+    const T* bc = bands_[0].row(y, z);
+    const T *bxm[S], *bxp[S], *bym[S], *byp[S], *bzm[S], *bzp[S];
     for (int k = 0; k < S; ++k) {
       rym[k] = src.row(y - (k + 1), z);
       ryp[k] = src.row(y + (k + 1), z);
@@ -158,7 +179,7 @@ class Banded3D {
     }
     auto emit = [&](V acc, int x) {
       if constexpr (NT) {
-        simd::NtVecD{acc}.store(o + x);
+        NtV{acc}.store(o + x);
       } else {
         acc.store(o + x);
       }
@@ -175,7 +196,7 @@ class Banded3D {
       }
       return acc;
     };
-    wave::ShiftWindow<V, double, S> win;
+    wave::ShiftWindow<V, T, S> win;
     auto windowed = [&](int x) {
       V acc = V::load(bc + x) * win.template get<0>();
       [&]<std::size_t... K>(std::index_sequence<K...>) {
@@ -207,18 +228,18 @@ class Banded3D {
       }
     }
     for (; x + W <= x1; x += W) emit(plain(x), x);
-    span<simd::ScalarD>(t, y, z, x, x1);
+    span<Sc>(t, y, z, x, x1);
   }
 
   template <class V>
   int span(int t, int y, int z, int x0, int x1) {
-    const Grid3D<double>& src = buf_[(t - 1) & 1];
-    Grid3D<double>& dst = buf_[t & 1];
-    const double* c = src.row(y, z);
-    double* o = dst.row(y, z);
-    const double *rym[S], *ryp[S], *rzm[S], *rzp[S];
-    const double* bc = bands_[0].row(y, z);
-    const double *bxm[S], *bxp[S], *bym[S], *byp[S], *bzm[S], *bzp[S];
+    const Grid3D<T>& src = buf_[(t - 1) & 1];
+    Grid3D<T>& dst = buf_[t & 1];
+    const T* c = src.row(y, z);
+    T* o = dst.row(y, z);
+    const T *rym[S], *ryp[S], *rzm[S], *rzp[S];
+    const T* bc = bands_[0].row(y, z);
+    const T *bxm[S], *bxp[S], *bym[S], *byp[S], *bzm[S], *bzp[S];
     for (int k = 0; k < S; ++k) {
       rym[k] = src.row(y - (k + 1), z);
       ryp[k] = src.row(y + (k + 1), z);
@@ -248,8 +269,8 @@ class Banded3D {
     return x;
   }
 
-  Grid3D<double> buf_[2];
-  std::vector<Grid3D<double>> bands_;
+  Grid3D<T> buf_[2];
+  std::vector<Grid3D<T>> bands_;
 };
 
 }  // namespace cats

@@ -32,7 +32,10 @@ namespace cats {
 template <int S, class T = double>
 class ConstStar2D {
   static_assert(S >= 1 && S <= 4);
-  static_assert(std::is_same_v<T, double> || std::is_same_v<T, float>);
+  // Any element type with a simd::vec_traits mapping is admissible: double,
+  // float, and the footprint analyzer's recording elements
+  // (src/analysis/record.hpp).
+  static_assert(requires { typename simd::vec_traits<T>::Vec; });
 
  public:
   static constexpr int kPoints = 4 * S + 1;

@@ -2,11 +2,16 @@
 // Constant-weight star stencil in 3D (7-point for slope 1, 13-point for
 // slope 2, 19-point for slope 3 — the Section III-E sweep). 6S+1 points,
 // 12S+1 flops.
+//
+// Templated on the element type T like ConstStar2D: one stencil body serves
+// fp64, fp32 and the footprint analyzer's recording elements via
+// simd::vec_traits (src/analysis/record.hpp).
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -18,9 +23,11 @@
 
 namespace cats {
 
-template <int S>
+template <int S, class T = double>
 class ConstStar3D {
   static_assert(S >= 1 && S <= 4);
+  // Any element type with a simd::vec_traits mapping is admissible.
+  static_assert(requires { typename simd::vec_traits<T>::Vec; });
 
  public:
   static constexpr int kPoints = 6 * S + 1;
@@ -33,14 +40,14 @@ class ConstStar3D {
   static constexpr bool tv_bit_exact = true;
 
   struct Weights {
-    double center = 0.0;
-    std::array<double, S> xm{}, xp{}, ym{}, yp{}, zm{}, zp{};
+    T center = 0;
+    std::array<T, S> xm{}, xp{}, ym{}, yp{}, zm{}, zp{};
   };
 
   ConstStar3D(int width, int height, int depth, const Weights& w)
       : w_(w),
-        buf_{Grid3D<double>(width, height, depth, S, kDeferFirstTouch),
-             Grid3D<double>(width, height, depth, S, kDeferFirstTouch)} {}
+        buf_{Grid3D<T>(width, height, depth, S, kDeferFirstTouch),
+             Grid3D<T>(width, height, depth, S, kDeferFirstTouch)} {}
 
   int width() const { return buf_[0].width(); }
   int height() const { return buf_[0].height(); }
@@ -49,10 +56,18 @@ class ConstStar3D {
   double flops_per_point() const { return 12.0 * S + 1.0; }
   double state_doubles_per_point() const { return 1.0; }
   double extra_cache_doubles_per_point() const { return 0.0; }
-  std::string tune_id() const { return "const3d/s" + std::to_string(S); }
+  /// Bytes per stored element — parameterizes Eq. 1/2 tile sizing.
+  double element_bytes() const { return static_cast<double>(sizeof(T)); }
+  std::string tune_id() const {
+    if constexpr (std::is_same_v<T, float>) {
+      return "const3d_f32/s" + std::to_string(S);
+    } else {
+      return "const3d/s" + std::to_string(S);
+    }
+  }
 
   template <class F>
-  void init(F&& f, double bnd = 0.0) {
+  void init(F&& f, T bnd = 0) {
     buf_[0].fill(bnd);
     buf_[1].fill(bnd);
     buf_[0].fill_interior(f);
@@ -61,7 +76,7 @@ class ConstStar3D {
   /// init() with NUMA-aware placement: z-slab partitioned parallel first
   /// touch under the schemes' pinning policy (threads/first_touch.hpp).
   template <class F>
-  void parallel_init(const RunOptions& opt, F&& f, double bnd = 0.0) {
+  void parallel_init(const RunOptions& opt, F&& f, T bnd = 0) {
     const int W = width(), H = height();
     first_touch_slabs(
         depth(), S, opt.threads, opt.affinity,
@@ -79,30 +94,32 @@ class ConstStar3D {
   /// first rows (the wavefront sweeps +z); the hardware prefetcher continues
   /// each stream.
   void prefetch_front(int t, int p, int lines) const {
-    const Grid3D<double>& src = buf_[(t - 1) & 1];
-    const double* r = src.row(0, std::min(p + S, depth() - 1 + S));
-    for (int i = 0; i < lines; ++i) simd::prefetch_read(r + i * 8);
+    const Grid3D<T>& src = buf_[(t - 1) & 1];
+    const T* r = src.row(0, std::min(p + S, depth() - 1 + S));
+    constexpr int kPerLine = static_cast<int>(64 / sizeof(T));
+    for (int i = 0; i < lines; ++i) simd::prefetch_read(r + i * kPerLine);
   }
 
-  const Grid3D<double>& grid_at(int t) const { return buf_[t & 1]; }
-  Grid3D<double>& grid_at(int t) { return buf_[t & 1]; }
+  const Grid3D<T>& grid_at(int t) const { return buf_[t & 1]; }
+  Grid3D<T>& grid_at(int t) { return buf_[t & 1]; }
 
-  void copy_result_to(std::vector<double>& out, int T) const {
-    const Grid3D<double>& g = grid_at(T);
+  void copy_result_to(std::vector<double>& out, int T_) const {
+    const Grid3D<T>& g = grid_at(T_);
     out.clear();
     out.reserve(static_cast<std::size_t>(width()) * height() * depth());
     for (int z = 0; z < depth(); ++z)
       for (int y = 0; y < height(); ++y)
-        for (int x = 0; x < width(); ++x) out.push_back(g.at(x, y, z));
+        for (int x = 0; x < width(); ++x)
+          out.push_back(static_cast<double>(g.at(x, y, z)));
   }
 
   void process_row(int t, int y, int z, int x0, int x1) {
-    const int x = span<simd::VecD>(t, y, z, x0, x1);
-    span<simd::ScalarD>(t, y, z, x, x1);
+    const int x = span<Vec>(t, y, z, x0, x1);
+    span<Sc>(t, y, z, x, x1);
   }
 
   void process_row_scalar(int t, int y, int z, int x0, int x1) {
-    span<simd::ScalarD>(t, y, z, x0, x1);
+    span<Sc>(t, y, z, x0, x1);
   }
 
   /// Non-temporal write-back path: same arithmetic as process_row, stores
@@ -111,8 +128,8 @@ class ConstStar3D {
   /// the only per-kernel piece). Caller must store_fence() before
   /// publishing.
   void process_row_nt(int t, int y, int z, int x0, int x1) {
-    const int x = span<simd::NtVecD>(t, y, z, x0, x1);
-    span<simd::ScalarD>(t, y, z, x, x1);
+    const int x = span<NtV>(t, y, z, x0, x1);
+    span<Sc>(t, y, z, x, x1);
   }
 
   /// Temporally-vectorized row body (wave/temporal_vec.hpp): the window-legal
@@ -133,16 +150,20 @@ class ConstStar3D {
   }
 
  private:
+  using Vec = typename simd::vec_traits<T>::Vec;
+  using Sc = typename simd::vec_traits<T>::Scalar;
+  using NtV = typename simd::vec_traits<T>::Nt;
+
   template <bool NT>
   void row_tv(int t, int y, int z, int x0, int x1) {
-    using V = simd::VecD;
+    using V = Vec;
     constexpr int W = V::width;
     constexpr int Q = (S + W - 1) / W;
-    const Grid3D<double>& src = buf_[(t - 1) & 1];
-    Grid3D<double>& dst = buf_[t & 1];
-    const double* c = src.row(y, z);
-    double* o = dst.row(y, z);
-    const double *rym[S], *ryp[S], *rzm[S], *rzp[S];
+    const Grid3D<T>& src = buf_[(t - 1) & 1];
+    Grid3D<T>& dst = buf_[t & 1];
+    const T* c = src.row(y, z);
+    T* o = dst.row(y, z);
+    const T *rym[S], *ryp[S], *rzm[S], *rzp[S];
     for (int k = 0; k < S; ++k) {
       rym[k] = src.row(y - (k + 1), z);
       ryp[k] = src.row(y + (k + 1), z);
@@ -162,7 +183,7 @@ class ConstStar3D {
     }
     auto emit = [&](V acc, int x) {
       if constexpr (NT) {
-        simd::NtVecD{acc}.store(o + x);
+        NtV{acc}.store(o + x);
       } else {
         acc.store(o + x);
       }
@@ -179,7 +200,7 @@ class ConstStar3D {
       }
       return acc;
     };
-    wave::ShiftWindow<V, double, S> win;
+    wave::ShiftWindow<V, T, S> win;
     auto windowed = [&](int x) {
       V acc = wc * win.template get<0>();
       [&]<std::size_t... K>(std::index_sequence<K...>) {
@@ -211,16 +232,16 @@ class ConstStar3D {
       }
     }
     for (; x + W <= x1; x += W) emit(plain(x), x);
-    span<simd::ScalarD>(t, y, z, x, x1);
+    span<Sc>(t, y, z, x, x1);
   }
 
   template <class V>
   int span(int t, int y, int z, int x0, int x1) {
-    const Grid3D<double>& src = buf_[(t - 1) & 1];
-    Grid3D<double>& dst = buf_[t & 1];
-    const double* c = src.row(y, z);
-    double* o = dst.row(y, z);
-    const double *rym[S], *ryp[S], *rzm[S], *rzp[S];
+    const Grid3D<T>& src = buf_[(t - 1) & 1];
+    Grid3D<T>& dst = buf_[t & 1];
+    const T* c = src.row(y, z);
+    T* o = dst.row(y, z);
+    const T *rym[S], *ryp[S], *rzm[S], *rzp[S];
     for (int k = 0; k < S; ++k) {
       rym[k] = src.row(y - (k + 1), z);
       ryp[k] = src.row(y + (k + 1), z);
@@ -255,22 +276,22 @@ class ConstStar3D {
   }
 
   Weights w_;
-  Grid3D<double> buf_[2];
+  Grid3D<T> buf_[2];
 };
 
-template <int S>
-typename ConstStar3D<S>::Weights default_star3d_weights() {
-  typename ConstStar3D<S>::Weights w;
-  w.center = 0.4;
+template <int S, class T = double>
+typename ConstStar3D<S, T>::Weights default_star3d_weights() {
+  typename ConstStar3D<S, T>::Weights w;
+  w.center = static_cast<T>(0.4);
   for (int k = 0; k < S; ++k) {
     const double f = 0.6 / (6 * S) * (k == 0 ? 1.2 : 0.8);
     const auto i = static_cast<std::size_t>(k);
-    w.xm[i] = f * 1.01;
-    w.xp[i] = f * 0.99;
-    w.ym[i] = f * 1.02;
-    w.yp[i] = f * 0.98;
-    w.zm[i] = f * 1.03;
-    w.zp[i] = f * 0.97;
+    w.xm[i] = static_cast<T>(f * 1.01);
+    w.xp[i] = static_cast<T>(f * 0.99);
+    w.ym[i] = static_cast<T>(f * 1.02);
+    w.yp[i] = static_cast<T>(f * 0.98);
+    w.zm[i] = static_cast<T>(f * 1.03);
+    w.zp[i] = static_cast<T>(f * 0.97);
   }
   return w;
 }

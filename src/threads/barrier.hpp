@@ -5,50 +5,79 @@
 // threads" in Alg. 1/2), so the barrier is not on the critical path; we spin
 // briefly for the common fast case and yield afterwards so oversubscribed
 // runs (more threads than cores) still make progress.
+//
+// The body is templated on a substrate shim (threads/sync_shim.hpp) and an
+// orders provider so the model checker (src/analysis) can run this exact
+// algorithm under a simulated weak-memory interpreter and re-check every
+// order one weakening step down. Production uses the aliases at the bottom;
+// the orders are `static constexpr`, so codegen is unchanged.
 
 #include <atomic>
-#include <cstdint>
-#include <thread>
 
-#include "threads/cpu_pause.hpp"
-#include "threads/sync_observer.hpp"
+#include "threads/sync_shim.hpp"
 
 namespace cats {
 
-class SpinBarrier {
- public:
-  explicit SpinBarrier(int participants) : n_(participants) {}
+/// Memory orders of BasicSpinBarrier's five annotated sites, as verified
+/// and proven minimal by `cats_analyze --minimality` (src/analysis): every
+/// one-step weakening of arrive/sense_publish/sense_wait yields a
+/// counterexample interleaving with a post-barrier data race.
+struct SpinBarrierProdOrders {
+  // order: relaxed — own thread observed sense_ last round; read-read
+  // coherence pins the peek at/after that observation, and ordering comes
+  // from the acq_rel arrival below and the release/acquire on sense_.
+  static constexpr std::memory_order sense_peek() {
+    return std::memory_order_relaxed;
+  }
+  // order: acq_rel — every arrival joins the prior arrivals' writes so the
+  // last arriver's sense_ release publishes all pre-barrier effects.
+  // Checker-minimal: acquire-only loses the release-sequence link between
+  // arrivals, release-only leaves the last arriver blind to them.
+  static constexpr std::memory_order arrive() {
+    return std::memory_order_acq_rel;
+  }
+  // order: relaxed — only the last arriver writes; next round's arrivals
+  // are ordered behind the sense_ release below.
+  static constexpr std::memory_order count_reset() {
+    return std::memory_order_relaxed;
+  }
+  // order: release — pairs with the acquire spin; departing waiters see
+  // all pre-barrier writes.
+  static constexpr std::memory_order sense_publish() {
+    return std::memory_order_release;
+  }
+  // order: acquire — pairs with the last arriver's release of sense_.
+  static constexpr std::memory_order sense_wait() {
+    return std::memory_order_acquire;
+  }
+};
 
-  SpinBarrier(const SpinBarrier&) = delete;
-  SpinBarrier& operator=(const SpinBarrier&) = delete;
+template <class Shim, class O = SpinBarrierProdOrders>
+class BasicSpinBarrier {
+ public:
+  explicit BasicSpinBarrier(int participants) : n_(participants) {}
+
+  BasicSpinBarrier(const BasicSpinBarrier&) = delete;
+  BasicSpinBarrier& operator=(const BasicSpinBarrier&) = delete;
 
   void arrive_and_wait() {
     // Validation: a barrier is an all-to-all edge — every participant's
     // arrival happens-before every participant's departure.
-    SyncObserver* const obs = sync_observer();
+    SyncObserver* const obs = Shim::observer();
     if (obs) obs->on_barrier_arrive(this);
-    // order: relaxed — own thread flipped sense_ last; ordering comes from
-    // the acq_rel arrival below and the release/acquire on sense_.
-    const bool my_sense = !sense_.load(std::memory_order_relaxed);
-    // order: acq_rel — every arrival joins the prior arrivals' writes so the
-    // last arriver's sense_ release publishes all pre-barrier effects.
-    if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
-      // order: relaxed — only the last arriver writes; next round's arrivals
-      // are ordered behind the sense_ release below.
-      count_.store(0, std::memory_order_relaxed);
-      // order: release — pairs with the acquire spin; departing waiters see
-      // all pre-barrier writes.
-      sense_.store(my_sense, std::memory_order_release);
+    const bool my_sense = !sense_.load(O::sense_peek());
+    if (count_.fetch_add(1, O::arrive()) == n_ - 1) {
+      count_.store(0, O::count_reset());
+      sense_.store(my_sense, O::sense_publish());
       if (obs) obs->on_barrier_leave(this);
       return;
     }
     int spins = 0, exponent = 0;
-    // order: acquire — pairs with the last arriver's release of sense_.
-    while (sense_.load(std::memory_order_acquire) != my_sense) {
+    while (sense_.load(O::sense_wait()) != my_sense) {
       if (++spins > kSpinLimit) {
-        std::this_thread::yield();
+        Shim::yield();
       } else {
-        backoff_pause(exponent);
+        Shim::pause(exponent);
       }
     }
     if (obs) obs->on_barrier_leave(this);
@@ -57,8 +86,10 @@ class SpinBarrier {
  private:
   static constexpr int kSpinLimit = 1024;
   const int n_;
-  std::atomic<int> count_{0};
-  std::atomic<bool> sense_{false};
+  typename Shim::template Atomic<int> count_{0};
+  typename Shim::template Atomic<bool> sense_{false};
 };
+
+using SpinBarrier = BasicSpinBarrier<RealSyncShim>;
 
 }  // namespace cats

@@ -19,14 +19,16 @@
 // actually established. The release hook fires before the releasing store;
 // the acquire hook fires after the wait condition holds — including the
 // fast path, where the edge is just as real.
+//
+// Both cells are shim-templated (threads/sync_shim.hpp): the model checker
+// (src/analysis) explores publish/wait_ge and set/test end-to-end under the
+// weak-memory interpreter and proves each order below minimal.
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <thread>
+#include <utility>
 
-#include "threads/cpu_pause.hpp"
-#include "threads/sync_observer.hpp"
+#include "threads/sync_shim.hpp"
 
 namespace cats {
 
@@ -42,78 +44,118 @@ namespace detail {
 /// Shared adaptive-wait loop: probes `satisfied()` with exponential PAUSE
 /// backoff, escalating to yield after ProgressCell::kSpinLimit probes. The
 /// clock starts only once the first probe fails, so uncontended waits cost
-/// one load.
-template <class Satisfied>
-WaitResult adaptive_wait(Satisfied&& satisfied, int spin_limit) {
+/// one load. Templated on the shim so simulated runs neither spin nor touch
+/// a real clock (SimShim::pause parks the thread; now_ns() returns 0).
+template <class Shim, class Satisfied>
+WaitResult basic_adaptive_wait(Satisfied&& satisfied, int spin_limit) {
   WaitResult r;
   if (satisfied()) return r;
-  const auto start = std::chrono::steady_clock::now();
+  const std::int64_t start = Shim::now_ns();
   int exponent = 0;
   do {
     if (++r.spins > spin_limit) {
-      std::this_thread::yield();
+      Shim::yield();
     } else {
-      backoff_pause(exponent);
+      Shim::pause(exponent);
     }
   } while (!satisfied());
-  r.ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - start)
-             .count();
+  r.ns = Shim::now_ns() - start;
   return r;
+}
+
+template <class Satisfied>
+WaitResult adaptive_wait(Satisfied&& satisfied, int spin_limit) {
+  return basic_adaptive_wait<RealSyncShim>(std::forward<Satisfied>(satisfied),
+                                           spin_limit);
 }
 
 }  // namespace detail
 
-/// Monotone progress counter: publish() with release, wait_ge() with acquire.
-struct alignas(64) ProgressCell {
-  std::atomic<std::int64_t> value{INT64_MIN};
-
+/// Orders of BasicProgressCell's sites, verified minimal by the checker:
+/// weakening publish or either acquire load loses the happens-before edge a
+/// SyncEdge{ProgressGE} assumes, and the checker's consumer scenario then
+/// reads the producer's tile data racily (counterexample trace).
+struct ProgressCellProdOrders {
   // order: relaxed — reset happens only between phases, under a barrier.
-  void reset() { value.store(INT64_MIN, std::memory_order_relaxed); }
+  static constexpr std::memory_order reset() {
+    return std::memory_order_relaxed;
+  }
+  // order: release — pairs with wait_ge's acquire; waiters see all writes
+  // up to the published wavefront.
+  static constexpr std::memory_order publish() {
+    return std::memory_order_release;
+  }
+  // order: acquire — pairs with publish's release.
+  static constexpr std::memory_order load() {
+    return std::memory_order_acquire;
+  }
+  // order: acquire — pairs with publish's release.
+  static constexpr std::memory_order wait() {
+    return std::memory_order_acquire;
+  }
+};
+
+/// Monotone progress counter: publish() with release, wait_ge() with acquire.
+template <class Shim, class O = ProgressCellProdOrders>
+struct alignas(64) BasicProgressCell {
+  typename Shim::template Atomic<std::int64_t> value{INT64_MIN};
+
+  void reset() { value.store(INT64_MIN, O::reset()); }
 
   void publish(std::int64_t v) {
-    if (SyncObserver* o = sync_observer()) o->on_release(this, v);
-    // order: release — pairs with wait_ge's acquire; waiters see all writes
-    // up to the published wavefront.
-    value.store(v, std::memory_order_release);
+    if (SyncObserver* o = Shim::observer()) o->on_release(this, v);
+    value.store(v, O::publish());
   }
 
-  // order: acquire — pairs with publish's release.
-  std::int64_t load() const { return value.load(std::memory_order_acquire); }
+  std::int64_t load() const { return value.load(O::load()); }
 
   /// Blocks until the published value reaches `bound`.
   WaitResult wait_ge(std::int64_t bound) const {
-    const WaitResult r = detail::adaptive_wait(
-        // order: acquire — pairs with publish's release.
-        [&] { return value.load(std::memory_order_acquire) >= bound; },
-        kSpinLimit);
-    if (SyncObserver* o = sync_observer()) o->on_acquire(this, bound);
+    const WaitResult r = detail::basic_adaptive_wait<Shim>(
+        [&] { return value.load(O::wait()) >= bound; }, kSpinLimit);
+    if (SyncObserver* o = Shim::observer()) o->on_acquire(this, bound);
     return r;
   }
 
   static constexpr int kSpinLimit = 1024;
 };
 
-/// One-shot done flag (per diamond tile).
-struct DoneFlag {
-  std::atomic<uint8_t> done{0};
+using ProgressCell = BasicProgressCell<RealSyncShim>;
 
-  void set() {
-    if (SyncObserver* o = sync_observer()) o->on_release(this, 1);
-    // order: release — pairs with test's acquire; the tile's writes are
-    // visible before the flag reads set.
-    done.store(1, std::memory_order_release);
+/// Orders of BasicDoneFlag's two sites; checker-minimal (set→test is the
+/// entire Done SyncEdge, so either weakening races the published tile).
+struct DoneFlagProdOrders {
+  // order: release — pairs with test's acquire; the tile's writes are
+  // visible before the flag reads set.
+  static constexpr std::memory_order set() {
+    return std::memory_order_release;
   }
   // order: acquire — pairs with set's release.
-  bool test() const { return done.load(std::memory_order_acquire) != 0; }
+  static constexpr std::memory_order test() {
+    return std::memory_order_acquire;
+  }
+};
+
+/// One-shot done flag (per diamond tile).
+template <class Shim, class O = DoneFlagProdOrders>
+struct BasicDoneFlag {
+  typename Shim::template Atomic<std::uint8_t> done{0};
+
+  void set() {
+    if (SyncObserver* o = Shim::observer()) o->on_release(this, 1);
+    done.store(1, O::set());
+  }
+  bool test() const { return done.load(O::test()) != 0; }
 
   /// Blocks until set.
   WaitResult wait() const {
-    const WaitResult r = detail::adaptive_wait([&] { return test(); },
-                                               ProgressCell::kSpinLimit);
-    if (SyncObserver* o = sync_observer()) o->on_acquire(this, 1);
+    const WaitResult r = detail::basic_adaptive_wait<Shim>(
+        [&] { return test(); }, BasicProgressCell<Shim>::kSpinLimit);
+    if (SyncObserver* o = Shim::observer()) o->on_acquire(this, 1);
     return r;
   }
 };
+
+using DoneFlag = BasicDoneFlag<RealSyncShim>;
 
 }  // namespace cats

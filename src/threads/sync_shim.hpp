@@ -1,0 +1,50 @@
+#pragma once
+// Substrate shim for the synchronization primitives.
+//
+// Every primitive in src/threads is written against a small policy type
+// rather than against std::atomic directly:
+//
+//   Shim::Atomic<T>   the atomic cell type (std::atomic<T> in production)
+//   Shim::pause(e)    one backoff step of a spin loop (exponential PAUSE)
+//   Shim::yield()     scheduler escalation after kSpinLimit probes
+//   Shim::observer()  the thread-local SyncObserver (validation hooks)
+//   Shim::now_ns()    monotonic clock for WaitResult accounting
+//
+// Production instantiates each primitive with RealSyncShim below; the
+// aliases (SpinBarrier, ProgressCell, ...) are unchanged, and because every
+// memory order is a `static constexpr` of the default orders provider, the
+// generated code is identical to the pre-shim hand-written primitives.
+//
+// The point of the indirection is src/analysis: the model checker
+// re-instantiates the *same* primitive bodies over a simulated atomic type
+// (analysis/sim_shim.hpp) whose loads enumerate every value the C++11
+// memory model permits, and over a runtime orders provider so each
+// annotated order can be weakened one step and re-checked. What the checker
+// proves is therefore a statement about this exact code, not about a
+// transliteration of it.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "threads/cpu_pause.hpp"
+#include "threads/sync_observer.hpp"
+
+namespace cats {
+
+struct RealSyncShim {
+  template <class T>
+  using Atomic = std::atomic<T>;
+
+  static void pause(int& exponent) { backoff_pause(exponent); }
+  static void yield() { std::this_thread::yield(); }
+  static SyncObserver* observer() noexcept { return sync_observer(); }
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace cats

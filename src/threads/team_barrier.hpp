@@ -21,50 +21,74 @@
 // team's members, reported exactly like SpinBarrier's phase barrier, so
 // oracle runs see every intra-team happens-before edge the schedule relies
 // on.
+//
+// Like SpinBarrier, the body is shim-templated so the model checker
+// (src/analysis) explores this exact algorithm — including the n_ <= 1
+// degenerate early-out — under the weak-memory interpreter.
 
 #include <atomic>
-#include <thread>
 
-#include "threads/cpu_pause.hpp"
-#include "threads/sync_observer.hpp"
+#include "threads/sync_shim.hpp"
 
 namespace cats {
 
-class TeamBarrier {
- public:
-  explicit TeamBarrier(int participants) : n_(participants) {}
+/// Orders of BasicTeamBarrier's sites; the algorithm and the minimality
+/// argument are identical to SpinBarrierProdOrders (the checker sweeps both
+/// primitives independently since they are distinct template bodies).
+struct TeamBarrierProdOrders {
+  // order: relaxed — own thread observed sense_ last round; ordering comes
+  // from the acq_rel arrival below and the release/acquire on sense_.
+  static constexpr std::memory_order sense_peek() {
+    return std::memory_order_relaxed;
+  }
+  // order: acq_rel — every arrival joins the prior arrivals' writes so the
+  // last arriver's sense_ release publishes all pre-barrier effects.
+  static constexpr std::memory_order arrive() {
+    return std::memory_order_acq_rel;
+  }
+  // order: relaxed — only the last arriver writes; next round's arrivals
+  // are ordered behind the sense_ release below.
+  static constexpr std::memory_order count_reset() {
+    return std::memory_order_relaxed;
+  }
+  // order: release — pairs with the acquire spin; departing waiters see
+  // all pre-barrier writes.
+  static constexpr std::memory_order sense_publish() {
+    return std::memory_order_release;
+  }
+  // order: acquire — pairs with the last arriver's release of sense_.
+  static constexpr std::memory_order sense_wait() {
+    return std::memory_order_acquire;
+  }
+};
 
-  TeamBarrier(const TeamBarrier&) = delete;
-  TeamBarrier& operator=(const TeamBarrier&) = delete;
+template <class Shim, class O = TeamBarrierProdOrders>
+class BasicTeamBarrier {
+ public:
+  explicit BasicTeamBarrier(int participants) : n_(participants) {}
+
+  BasicTeamBarrier(const BasicTeamBarrier&) = delete;
+  BasicTeamBarrier& operator=(const BasicTeamBarrier&) = delete;
 
   int participants() const noexcept { return n_; }
 
   void arrive_and_wait() {
     if (n_ <= 1) return;  // degenerate team: program order suffices
-    SyncObserver* const obs = sync_observer();
+    SyncObserver* const obs = Shim::observer();
     if (obs) obs->on_barrier_arrive(this);
-    // order: relaxed — own thread observed sense_ last round; ordering comes
-    // from the acq_rel arrival below and the release/acquire on sense_.
-    const bool my_sense = !sense_.load(std::memory_order_relaxed);
-    // order: acq_rel — every arrival joins the prior arrivals' writes so the
-    // last arriver's sense_ release publishes all pre-barrier effects.
-    if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
-      // order: relaxed — only the last arriver writes; next round's arrivals
-      // are ordered behind the sense_ release below.
-      count_.store(0, std::memory_order_relaxed);
-      // order: release — pairs with the acquire spin; departing waiters see
-      // all pre-barrier writes.
-      sense_.store(my_sense, std::memory_order_release);
+    const bool my_sense = !sense_.load(O::sense_peek());
+    if (count_.fetch_add(1, O::arrive()) == n_ - 1) {
+      count_.store(0, O::count_reset());
+      sense_.store(my_sense, O::sense_publish());
       if (obs) obs->on_barrier_leave(this);
       return;
     }
     int spins = 0, exponent = 0;
-    // order: acquire — pairs with the last arriver's release of sense_.
-    while (sense_.load(std::memory_order_acquire) != my_sense) {
+    while (sense_.load(O::sense_wait()) != my_sense) {
       if (++spins > kSpinLimit) {
-        std::this_thread::yield();
+        Shim::yield();
       } else {
-        backoff_pause(exponent);
+        Shim::pause(exponent);
       }
     }
     if (obs) obs->on_barrier_leave(this);
@@ -76,8 +100,10 @@ class TeamBarrier {
   // within a few microseconds of each other by construction.
   static constexpr int kSpinLimit = 1024;
   const int n_;
-  alignas(64) std::atomic<int> count_{0};
-  alignas(64) std::atomic<bool> sense_{false};
+  alignas(64) typename Shim::template Atomic<int> count_{0};
+  alignas(64) typename Shim::template Atomic<bool> sense_{false};
 };
+
+using TeamBarrier = BasicTeamBarrier<RealSyncShim>;
 
 }  // namespace cats

@@ -75,8 +75,7 @@ ThreadPool::ThreadPool(int threads, AffinityPolicy affinity,
 #endif
       if (pin_self(pin_order_[0])) {
         caller_pinned_ = true;
-        // order: acq_rel — pairs with pinned_count's acquire.
-        pinned_.fetch_add(1, std::memory_order_acq_rel);
+        pinned_.note();
       } else {
         warn_unpinned_once("sched_setaffinity failed");
         pin_order_.clear();
@@ -141,8 +140,7 @@ void ThreadPool::run(const std::function<void(int)>& job) {
 void ThreadPool::worker_loop(int tid) {
   if (static_cast<std::size_t>(tid) < pin_order_.size()) {
     if (pin_self(pin_order_[static_cast<std::size_t>(tid)])) {
-      // order: acq_rel — pairs with pinned_count's acquire.
-      pinned_.fetch_add(1, std::memory_order_acq_rel);
+      pinned_.note();
     } else {
       warn_unpinned_once("sched_setaffinity failed");
     }

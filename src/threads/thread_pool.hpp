@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sysinfo/topology.hpp"
+#include "threads/pin_latch.hpp"
 
 namespace cats {
 
@@ -49,9 +50,9 @@ class ThreadPool {
 
   /// Participants successfully pinned (0 when unpinned or unsupported).
   /// Workers pin themselves on startup; join via run() before relying on a
-  /// final value in tests.
-  // order: acquire — pairs with the workers' acq_rel increments.
-  int pinned_count() const { return pinned_.load(std::memory_order_acquire); }
+  /// final value in tests — that join edge is what orders the reads (the
+  /// latch itself is relaxed; see PinLatchProdOrders and cats_analyze).
+  int pinned_count() const { return pinned_.count(); }
 
   /// Run job(tid) for tid in [0, size()); returns when all are finished.
   /// Exceptions thrown by workers are rethrown on the caller (first one wins).
@@ -66,7 +67,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   std::vector<int> pin_order_;  ///< empty = unpinned
-  std::atomic<int> pinned_{0};
+  PinLatch pinned_;
   bool caller_pinned_ = false;
   std::vector<unsigned char> saved_mask_;  ///< caller's pre-pin affinity mask
 

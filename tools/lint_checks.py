@@ -12,7 +12,14 @@ Three rules over src/:
    carry a `// order:` comment on the same line or within the two lines
    above (a comment covers a contiguous run of atomic lines below it), so
    the pairing that justifies the relaxation is written down where it can
-   rot visibly.
+   rot visibly. A comment block counts: the `// order:` head of a
+   contiguous `//` block governs uses up to two code lines below the
+   block. The comment must also *name* every order it covers
+   (order-comment-mismatch): a `// order: relaxed ...` note over an
+   acquire load is a stale justification, which is worse than none.
+   src/analysis/ is exempt — the model checker manipulates memory orders
+   as first-class *data* (weakening lattices, per-site overrides, name
+   tables); those mentions are not relaxations to justify.
 
 3. standalone-headers: every src/**/*.hpp must compile on its own
    (g++ -std=c++20 -fsyntax-only -I src), so headers keep their includes
@@ -54,26 +61,65 @@ def check_bare_assert(path: Path, lines: list[str], findings: list[str]) -> None
                 f"-DNDEBUG")
 
 
+def order_comment_text(line: str) -> str | None:
+    m = ORDER_COMMENT.search(line)
+    return line[m.start():] if m else None
+
+
+def is_comment_line(line: str) -> bool:
+    return line.lstrip().startswith("//")
+
+
+def governing_comment(lines: list[str], ln: int) -> str | None:
+    """The `// order:` comment governing the use at 1-indexed `ln`: on the
+    line itself, or heading a contiguous comment block that ends within two
+    code lines above it (the block's full text is returned so multi-line
+    justifications count for the mismatch check)."""
+    t = order_comment_text(lines[ln - 1])
+    if t:
+        return t
+    i = ln - 2
+    code_steps = 0
+    while i >= 0 and code_steps < 2:
+        if is_comment_line(lines[i]):
+            j = i
+            while j >= 0 and is_comment_line(lines[j]):
+                j -= 1
+            block = "\n".join(lines[j + 1:i + 1])
+            m = ORDER_COMMENT.search(block)
+            return block[m.start():] if m else None
+        i -= 1
+        code_steps += 1
+    return None
+
+
 def check_memory_order(path: Path, lines: list[str],
                        findings: list[str]) -> None:
-    covered = False  # previous line was an annotated/covered atomic line
+    governing: str | None = None  # comment text covering a contiguous run
     for ln, line in enumerate(lines, 1):
-        uses = MEMORY_ORDER.search(strip_comment(line)) is not None
-        if not uses:
-            covered = False
+        orders = MEMORY_ORDER.findall(strip_comment(line))
+        if not orders:
+            governing = None
             continue
-        ok = (
-            ORDER_COMMENT.search(line)
-            or any(ORDER_COMMENT.search(lines[i])
-                   for i in range(max(0, ln - 3), ln - 1))
-            or covered  # contiguous run under one comment
-        )
-        if not ok:
+        comment = governing_comment(lines, ln)
+        if comment is None:
+            comment = governing  # contiguous run under one comment
+        if comment is None:
             findings.append(
                 f"{path.relative_to(REPO)}:{ln}: memory-order-comments: "
                 f"non-default memory_order needs a `// order:` comment on "
                 f"this line or within the 2 lines above")
-        covered = bool(ok)
+            continue
+        governing = comment
+        missing = sorted(
+            o for o in set(orders)
+            if not re.search(rf"\b{o}\b", comment))
+        if missing:
+            findings.append(
+                f"{path.relative_to(REPO)}:{ln}: order-comment-mismatch: "
+                f"`// order:` comment does not name "
+                f"{'/'.join(missing)} used on this line — stale "
+                f"justification?")
 
 
 def check_standalone_headers(findings: list[str]) -> None:
@@ -96,7 +142,8 @@ def main() -> int:
             continue
         lines = path.read_text().splitlines()
         check_bare_assert(path, lines, findings)
-        check_memory_order(path, lines, findings)
+        if (SRC / "analysis") not in path.parents:
+            check_memory_order(path, lines, findings)
     check_standalone_headers(findings)
     for f in findings:
         print(f)
