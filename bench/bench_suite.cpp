@@ -1,9 +1,11 @@
 // Consolidated perf-tracking suite: one pinned-size run per kernel family x
 // scheme configuration, emitting a single machine-readable report
-// (`--json BENCH_7.json`) with MLUP/s and modeled DRAM bytes/point per row.
-// CI runs it under CATS_BENCH_TINY and tools/bench_compare.py diffs the
-// MLUP/s columns against the checked-in baseline (15% tolerance), grouped
-// per precision (the fp32 family carries its own naive/plain anchors).
+// (`--json BENCH_10.json`) with MLUP/s and modeled DRAM bytes/point per row.
+// CI runs it under CATS_BENCH_TINY at several thread counts and
+// tools/bench_compare.py diffs the MLUP/s columns against the checked-in
+// baseline, grouped per precision and per thread count (the report's
+// "threads" context keys the groups; the fp32 family carries its own
+// naive/plain anchors).
 //
 // Each CATS2 family is measured three ways: "cats2_plain" disables the wave
 // engine (unroll_t=1, no NT stores, no software prefetch), "cats2_wave"
@@ -13,6 +15,13 @@
 // wave/plain ratio is the wave engine's speedup, the tv/wave ratio the
 // register-window gain, and const2d_f32 vs const2d at equal config the fp32
 // precision gain.
+//
+// MWD rows: "mwd_g2" pools pairs of threads over shared diamonds
+// (RunOptions::mwd_group = 2, core/mwd.hpp) at the wave configuration;
+// "cats2_teams" is the incumbent multi-thread sharing scheme (3D CATS2
+// y-split teams, team_size = 2) it races. Both degrade gracefully at
+// THREADS=1 (group/team width clamps to 1), so single-thread baselines stay
+// comparable across the matrix.
 
 #include "common.hpp"
 #include "kernels/banded2d.hpp"
@@ -33,15 +42,19 @@ struct SchemeConfig {
   bool nt_stores;
   int prefetch_dist;
   bool temporal_vec;  // RunOptions::temporal_vec (register-window chains)
+  int team_size;      // RunOptions::team_size (3D CATS1/2 y-split teams)
+  int mwd_group;      // RunOptions::mwd_group (MWD shared-diamond groups)
 };
 
 constexpr SchemeConfig kConfigs[] = {
-    {"naive", Scheme::Naive, 1, false, 0, false},
-    {"pluto", Scheme::PlutoLike, 1, false, 0, false},
-    {"cats1", Scheme::Cats1, 0, false, 4, false},
-    {"cats2_plain", Scheme::Cats2, 1, false, 0, false},
-    {"cats2_wave", Scheme::Cats2, 0, true, 4, false},
-    {"cats2_tv", Scheme::Cats2, 0, true, 4, true},
+    {"naive", Scheme::Naive, 1, false, 0, false, 0, 0},
+    {"pluto", Scheme::PlutoLike, 1, false, 0, false, 0, 0},
+    {"cats1", Scheme::Cats1, 0, false, 4, false, 0, 0},
+    {"cats2_plain", Scheme::Cats2, 1, false, 0, false, 0, 0},
+    {"cats2_wave", Scheme::Cats2, 0, true, 4, false, 0, 0},
+    {"cats2_tv", Scheme::Cats2, 0, true, 4, true, 0, 0},
+    {"cats2_teams", Scheme::Cats2, 0, true, 4, false, 2, 0},
+    {"mwd_g2", Scheme::Mwd, 0, true, 4, false, 0, 2},
 };
 
 RunOptions suite_options(const BenchConfig& cfg, const SchemeConfig& sc) {
@@ -51,6 +64,12 @@ RunOptions suite_options(const BenchConfig& cfg, const SchemeConfig& sc) {
   opt.nt_stores = sc.nt_stores;
   opt.prefetch_dist = sc.prefetch_dist;
   opt.temporal_vec = sc.temporal_vec;
+  if (sc.team_size > 0) opt.team_size = sc.team_size;
+  if (sc.mwd_group > 0) {
+    // Clamp like run() would (largest divisor of the pool) so a THREADS=1
+    // matrix leg times the degenerate single-worker MWD, not a warning.
+    opt.mwd_group = mwd_group_width(sc.mwd_group, opt.threads);
+  }
   return opt;
 }
 
@@ -75,6 +94,9 @@ int main(int argc, char** argv) {
   const BenchConfig cfg = bench_config(argc, argv);
   print_banner(std::cout, "Bench suite: scheme x kernel perf matrix");
   json_log().set_title("bench_suite");
+  // Thread count keys the baseline comparison groups (bench_compare.py
+  // normalizes MLUP/s within one thread count only).
+  json_log().add_context("threads", std::to_string(cfg.threads));
 
   // Pinned sizes so successive runs are directly comparable. Tiny is sized
   // for the CI comparison gate, not minimality: each timed point must take
@@ -166,6 +188,19 @@ int main(int argc, char** argv) {
   for (const char* config : {"naive", "cats2_plain", "cats2_wave", "cats2_tv"}) {
     ratio_line(std::string("const2d_f32/") + config + ": fp32 speedup",
                mlups_of("const2d", config), mlups_of("const2d_f32", config));
+  }
+  // The MWD race: shared-diamond groups vs the incumbent sharing scheme —
+  // y-split CATS2 teams in 3D, the plain wave config in 2D (2D has no team
+  // path to race).
+  for (const char* kernel :
+       {"const2d", "const2d_f32", "banded2d", "const3d", "banded3d"}) {
+    const double mwd = mlups_of(kernel, "mwd_g2");
+    ratio_line(std::string(kernel) + ": MWD over cats2_wave",
+               mlups_of(kernel, "cats2_wave"), mwd);
+    if (std::string(kernel).find("3d") != std::string::npos) {
+      ratio_line(std::string(kernel) + ": MWD over cats2_teams",
+                 mlups_of(kernel, "cats2_teams"), mwd);
+    }
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "analysis/footprint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -54,7 +55,30 @@ RunOptions make_opt(const plan_ir::TilePlan& p, const Cfg& c) {
   o.nt_stores = c.nt;
   o.temporal_vec = c.tv;
   o.prefetch_dist = 0;
+  o.mwd_group = std::max(1, p.mwd_group);
   return o;
+}
+
+/// MWD plans are walked through the member-partitioned window pipeline
+/// (drive_plan_*_mwd) so the checker certifies the addresses each member
+/// actually touches under the band split, not just the tile union.
+template <class RecK>
+void drive_2d(RecK& wrap, const plan_ir::TilePlan& p, const RunOptions& o,
+              FootprintChecker& chk) {
+  if (p.mwd_group > 1) {
+    drive_plan_2d_mwd(wrap, p, o, chk);
+  } else {
+    drive_plan_2d(wrap, p, o, chk);
+  }
+}
+template <class RecK>
+void drive_3d(RecK& wrap, const plan_ir::TilePlan& p, const RunOptions& o,
+              FootprintChecker& chk) {
+  if (p.mwd_group > 1) {
+    drive_plan_3d_mwd(wrap, p, o, chk);
+  } else {
+    drive_plan_3d(wrap, p, o, chk);
+  }
 }
 
 /// The sweep's toy domains sit far below any real cache bound; force the
@@ -120,6 +144,9 @@ void sweep_const2d(const char* prec, std::vector<FpReport>& out) {
   cases.push_back(
       {"cats2", plan_ir::emit_cats2(2, nx, ny, 1, nt_steps, S, 24, threads),
        true});
+  // Same diamond geometry, walked through the 2-member window pipeline.
+  cases.push_back(
+      {"mwd", plan_ir::emit_mwd(2, nx, ny, 1, nt_steps, S, 24, 1, 2), true});
   for (auto& sc : cases) arm_nt(sc.plan);
   for (const auto& sc : cases) {
     for (const Cfg& c : sc.cats ? cats_cfgs() : naive_cfgs()) {
@@ -128,14 +155,17 @@ void sweep_const2d(const char* prec, std::vector<FpReport>& out) {
       chk.add_state_grid_2d(k.grid_at(0), 0, "const2d/buf0");
       chk.add_state_grid_2d(k.grid_at(1), 1, "const2d/buf1");
       RecWrap2D<ConstStar2D<S, T>> wrap(k, chk);
-      drive_plan_2d(wrap, sc.plan, make_opt(sc.plan, c), chk);
+      drive_2d(wrap, sc.plan, make_opt(sc.plan, c), chk);
       FpReport rep;
       rep.config = cfg_label("const2d/s2", prec, sc.name, c);
       finish(rep, chk);
       exercise_nt(rep, chk, sc, c);
-      // CATS1 columns produce single-row chain links; with fusion enabled
-      // the TV (or plain fused) body must actually run.
-      if (std::strcmp(sc.name, "cats1") == 0 && c.u != 1) {
+      // CATS1 columns (and MWD member bands) produce single-row chain
+      // links; with fusion enabled the TV (or plain fused) body must
+      // actually run.
+      if ((std::strcmp(sc.name, "cats1") == 0 ||
+           std::strcmp(sc.name, "mwd") == 0) &&
+          c.u != 1) {
         if (c.tv && wrap.tv_calls == 0) {
           rep.diags.push_back(
               {"exercise: temporal_vec enabled but no TV group ran"});
@@ -164,6 +194,8 @@ void sweep_banded2d(std::vector<FpReport>& out) {
   cases.push_back(
       {"cats2", plan_ir::emit_cats2(2, nx, ny, 1, nt_steps, S, 24, threads),
        true});
+  cases.push_back(
+      {"mwd", plan_ir::emit_mwd(2, nx, ny, 1, nt_steps, S, 24, 1, 2), true});
   for (auto& sc : cases) arm_nt(sc.plan);
   for (const auto& sc : cases) {
     for (const Cfg& c : sc.cats ? cats_cfgs() : naive_cfgs()) {
@@ -175,13 +207,14 @@ void sweep_banded2d(std::vector<FpReport>& out) {
         chk.add_band_grid_2d(k.band(b), b, "banded2d");
       }
       RecWrap2D<K> wrap(k, chk);
-      drive_plan_2d(wrap, sc.plan, make_opt(sc.plan, c), chk);
+      drive_2d(wrap, sc.plan, make_opt(sc.plan, c), chk);
       FpReport rep;
       rep.config = cfg_label("banded2d/s1", "fp64", sc.name, c);
       finish(rep, chk);
       exercise_nt(rep, chk, sc, c);
-      if (std::strcmp(sc.name, "cats1") == 0 && c.u != 1 && c.tv &&
-          wrap.tv_calls == 0) {
+      if ((std::strcmp(sc.name, "cats1") == 0 ||
+           std::strcmp(sc.name, "mwd") == 0) &&
+          c.u != 1 && c.tv && wrap.tv_calls == 0) {
         rep.diags.push_back(
             {"exercise: temporal_vec enabled but no TV group ran"});
       }
@@ -207,6 +240,8 @@ std::vector<SchemeCase> cases_3d(int nx, int ny, int nz, int nt_steps, int S,
   cases.push_back({"cats3", plan_ir::emit_cats3(nx, ny, nz, nt_steps, S, 4, 8,
                                                 threads),
                    true});
+  cases.push_back(
+      {"mwd", plan_ir::emit_mwd(3, nx, ny, nz, nt_steps, S, 4, 1, 2), true});
   for (auto& sc : cases) arm_nt(sc.plan);
   return cases;
 }
@@ -215,13 +250,14 @@ template <class K>
 void drive_3d_case(K& k, const SchemeCase& sc, const Cfg& c,
                    FootprintChecker& chk, FpReport& rep) {
   RecWrap3D<K> wrap(k, chk);
-  drive_plan_3d(wrap, sc.plan, make_opt(sc.plan, c), chk);
+  drive_3d(wrap, sc.plan, make_opt(sc.plan, c), chk);
   finish(rep, chk);
   exercise_nt(rep, chk, sc, c);
-  // CATS1 3D tiles chain single-z slabs; with fusion + TV on, the TV row
-  // body must actually run.
-  if (std::strcmp(sc.name, "cats1") == 0 && c.u != 1 && c.tv &&
-      wrap.tv_rows == 0) {
+  // CATS1 3D tiles (and MWD member bands) chain single-z slabs; with
+  // fusion + TV on, the TV row body must actually run.
+  if ((std::strcmp(sc.name, "cats1") == 0 ||
+       std::strcmp(sc.name, "mwd") == 0) &&
+      c.u != 1 && c.tv && wrap.tv_rows == 0) {
     rep.diags.push_back(
         {"exercise: temporal_vec enabled but no TV row ran"});
   }

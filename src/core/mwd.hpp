@@ -1,0 +1,62 @@
+#pragma once
+// MWD: multicore wavefront-diamond blocking (Malas et al.; ROADMAP item).
+//
+// CATS2 with the one-tile-per-thread default sizes every diamond against a
+// *per-thread* cache share Z, which starves high-CS kernels (banded
+// matrices) and multiplies sync volume with the thread count. MWD instead
+// tiles the domain into threads/m diamond tubes sized against the *pooled*
+// share Z*m (Eq. 2 with Z*m: BZ grows by sqrt(m)) and backs each tube with
+// an m-member thread group that pipelines the tube's interior wavefronts —
+// member k computes wavefront w in window w + k, its share of the timestep
+// range fixed by an equal-area band partition (wave/mwd.hpp has the
+// schedule and its happens-before proof; plan/execute.hpp runs it behind a
+// per-group TeamBarrier with lead-only Done waits/publishes).
+//
+// The plan itself (plan/emit.cpp emit_mwd) is group-agnostic — the same
+// DiamondTube tiles and Done edges as CATS2 over threads/m owners — so the
+// static verifier's dependence/residency/deadlock certificates apply
+// verbatim, with residency granted at the pooled budget Z*m.
+
+#include "core/options.hpp"
+#include "core/stencil.hpp"
+#include "plan/emit.hpp"
+#include "plan/kernel_walk.hpp"
+
+namespace cats {
+
+// Cache-model fields: see run_cats1's note (plan/emit.hpp apply_cache_model).
+
+template <RowKernel2D K>
+void run_mwd(K& k, int T, const RunOptions& opt, std::int64_t bz) {
+  const int m = wave_team_width(2, Scheme::Mwd, opt);
+  const int groups = std::max(1, (opt.threads > 0 ? opt.threads : 1) / m);
+  plan_ir::TilePlan p = plan_ir::emit_mwd(2, k.width(), k.height(), 1, T,
+                                          k.slope(), bz, groups, m);
+  plan_ir::apply_cache_model(
+      p, Scheme::Mwd,
+      DomainShape{static_cast<std::int64_t>(k.width()) * k.height(),
+                  k.height(), k.width(), 2},
+      KernelCosts{k.slope(), effective_cs(k, opt.cs_slack),
+                  kernel_element_bytes(k)},
+      opt);
+  plan_ir::run_plan(k, p, opt);
+}
+
+template <RowKernel3D K>
+void run_mwd(K& k, int T, const RunOptions& opt, std::int64_t bz) {
+  const int m = wave_team_width(3, Scheme::Mwd, opt);
+  const int groups = std::max(1, (opt.threads > 0 ? opt.threads : 1) / m);
+  plan_ir::TilePlan p = plan_ir::emit_mwd(3, k.width(), k.height(), k.depth(),
+                                          T, k.slope(), bz, groups, m);
+  plan_ir::apply_cache_model(
+      p, Scheme::Mwd,
+      DomainShape{
+          static_cast<std::int64_t>(k.width()) * k.height() * k.depth(),
+          k.depth(), k.height(), 3},
+      KernelCosts{k.slope(), effective_cs(k, opt.cs_slack),
+                  kernel_element_bytes(k)},
+      opt);
+  plan_ir::run_plan(k, p, opt);
+}
+
+}  // namespace cats

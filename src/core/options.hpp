@@ -27,6 +27,9 @@ enum class Scheme {
   Cats2,     ///< Alg. 3: diamond tubes + wavefront traversal
   Cats3,     ///< Sec. II-D: diamond tubes + sequential x-parallelograms (3D)
   PlutoLike, ///< baseline: multi-dimensional time-skewed tiling (see src/baseline)
+  Mwd,       ///< multicore wavefront-diamond: a thread *group* shares one
+             ///< diamond tube, members pipeline consecutive wavefronts inside
+             ///< it (Malas et al.), sizing BZ against the group-shared Z*group
 };
 
 /// Empirical-tuning policy (src/tune). The paper's Eq. 1/2 are analytic; on
@@ -123,6 +126,15 @@ struct RunOptions {
   /// a team barrier per slab. 1 = off.
   int team_size = 1;
 
+  /// Threads cooperating on one MWD diamond tube (Scheme::Mwd): the domain is
+  /// tiled into threads/mwd_group diamond columns sized against the
+  /// group-shared cache Z*mwd_group (Eq. 2 with the pooled budget), and the
+  /// group's members pipeline consecutive wavefronts of the shared tube
+  /// behind a team barrier. Clamped to the largest divisor of `threads` not
+  /// exceeding the request (mwd_group_width below); 1 = one thread per
+  /// diamond (CATS2-shaped schedule). Ignored by every other scheme.
+  int mwd_group = 1;
+
   /// Cache lines software-prefetched at the wavefront's leading edge
   /// (kernel prefetch_front hint distance). 0 disables the hint.
   int prefetch_dist = 4;
@@ -149,14 +161,32 @@ struct RunOptions {
   const char* tuning_db_path = nullptr;
 };
 
+/// MWD group width: `group` clamped to [1, threads] and then reduced to the
+/// largest divisor of `threads` not exceeding it, so threads/g groups of g
+/// members tile the worker pool exactly (no idle remainder workers and no
+/// group straddling the pool boundary). Pure; shared by the selector, plan
+/// emission and the executor so all three always agree on the layout.
+inline int mwd_group_width(int group, int threads) {
+  const int cap = threads > 0 ? threads : 1;
+  int g = group < 1 ? 1 : (group > cap ? cap : group);
+  while (g > 1 && cap % g != 0) --g;
+  return g;
+}
+
 /// Intra-tile team width m the wave engine uses for a plan of the given
 /// dimensionality and scheme: team_size clamped to [1, threads], honored
 /// only for 3D CATS1/CATS2 (the tiles with a full orthogonal y extent per
 /// slab; everywhere else a slab is a single row and splitting it would
-/// serialize on the team barrier). The schemes emit plans with threads/m
-/// tile owners and the executor re-derives m from this same rule, so the
-/// emitted plan and the worker layout always agree.
+/// serialize on the team barrier). MWD reuses the same worker-pool shape —
+/// its m is the mwd_group width (2D/3D; a 1D domain dispatches to CATS1
+/// before this matters) — but members pipeline *wavefronts*, not slab rows.
+/// The schemes emit plans with threads/m tile owners and the executor
+/// re-derives m from this same rule, so the emitted plan and the worker
+/// layout always agree.
 inline int wave_team_width(int dims, Scheme scheme, const RunOptions& opt) {
+  if (scheme == Scheme::Mwd) {
+    return dims < 2 ? 1 : mwd_group_width(opt.mwd_group, opt.threads);
+  }
   if (dims != 3) return 1;
   if (scheme != Scheme::Cats1 && scheme != Scheme::Cats2) return 1;
   const int cap = opt.threads > 0 ? opt.threads : 1;

@@ -17,6 +17,7 @@
 #include "core/cats1.hpp"
 #include "core/cats2.hpp"
 #include "core/cats3.hpp"
+#include "core/mwd.hpp"
 #include "core/naive.hpp"
 #include "core/selector.hpp"
 #include "core/stencil.hpp"
@@ -127,6 +128,7 @@ SchemeChoice run(K& k, int T, const RunOptions& opt) {
     eff = apply_tuning(opt, kernel_tuning_id(k), domain_shape(k));
   }
   eff.unroll_t = sanitize_unroll_t(eff.unroll_t);
+  eff.mwd_group = sanitize_mwd_group(eff.mwd_group, eff.threads, eff.scheme);
   const SchemeChoice choice = plan(k, T, eff);
   if (T <= 0) return choice;
   // Dimensional fallbacks (CATS2 in 1D -> CATS1, CATS3 below 3D -> CATS2/1)
@@ -152,6 +154,11 @@ SchemeChoice run(K& k, int T, const RunOptions& opt) {
         run_cats3(k, T, eff, exec.bz, exec.bx);
       }
       break;
+    case Scheme::Mwd:
+      if constexpr (!RowKernel1D<K>) {  // 1D resolves to CATS1 above
+        run_mwd(k, T, eff, exec.bz);
+      }
+      break;
     case Scheme::PlutoLike:
       run_pluto_like(k, T, eff);
       break;
@@ -168,6 +175,7 @@ inline const char* scheme_name(Scheme s) {
     case Scheme::Cats1: return "CATS1";
     case Scheme::Cats2: return "CATS2";
     case Scheme::Cats3: return "CATS3";
+    case Scheme::Mwd: return "MWD";
     case Scheme::PlutoLike: return "PluTo-like";
   }
   return "?";

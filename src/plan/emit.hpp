@@ -34,6 +34,17 @@ TilePlan emit_cats2(int dims, std::int64_t nx, std::int64_t ny,
 TilePlan emit_cats3(std::int64_t nx, std::int64_t ny, std::int64_t nz, int T,
                     int slope, std::int64_t bz, std::int64_t bx, int threads);
 
+/// Multicore wavefront-diamond (2D/3D; 1D dispatches to CATS1): the same
+/// diamond-tube tiling and Done-edge structure as CATS2, but owners are
+/// thread *groups* — `groups` of them, each `group` members wide — and BZ is
+/// expected to be sized against the pooled cache Z*group (Eq. 2). The plan
+/// records the group width (TilePlan::mwd_group); the executor pipelines a
+/// tube's wavefronts across the group's members behind a team barrier
+/// (wave/mwd.hpp), a pure refinement of the tile-serial walk the verifier
+/// certifies.
+TilePlan emit_mwd(int dims, std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                  int T, int slope, std::int64_t bz, int groups, int group);
+
 TilePlan emit_pluto(int dims, std::int64_t nx, std::int64_t ny,
                     std::int64_t nz, int T, int slope, int threads);
 

@@ -44,6 +44,7 @@
 #include "threads/progress.hpp"
 #include "threads/team_barrier.hpp"
 #include "threads/thread_pool.hpp"
+#include "wave/mwd.hpp"
 
 namespace cats::plan_ir {
 
@@ -134,6 +135,18 @@ void execute_plan(const TilePlan& plan, const RunOptions& opt,
     auto fn = slab_fn;  // worker-private walker state (fusion buffers, ...)
     std::int64_t local_spins = 0, local_events = 0, local_ns = 0,
                  local_tiles = 0, local_barriers = 0;
+    // TeamBarrier idle-spin accounting (RunStats team_wait_* breakdown,
+    // also folded into the wait_* aggregates at the flush below).
+    std::int64_t tw_spins = 0, tw_events = 0, tw_ns = 0;
+    auto team_cross = [&](TeamBarrier& tb) {
+      const WaitResult w = tb.arrive_and_wait();
+      ++local_barriers;
+      if (w.spins > 0) {
+        ++tw_events;
+        tw_spins += w.spins;
+        tw_ns += w.ns;
+      }
+    };
     const std::vector<std::int32_t>& mine =
         order[static_cast<std::size_t>(tid)];
     std::size_t next = 0;
@@ -168,6 +181,16 @@ void execute_plan(const TilePlan& plan, const RunOptions& opt,
         if (m == 1) {
           for_each_slab(plan, tile, fn);
           detail::finish_tile(fn);
+        } else if (plan.scheme == Scheme::Mwd) {
+          // MWD group: members pipeline the tube's wavefronts in contiguous
+          // time bands behind per-window barriers (schedule + ordering proof
+          // in wave/mwd.hpp). The walker flushes inside every window and the
+          // walk ends with a barrier, so the members' work — NT stores
+          // fenced — is ordered before the lead's publish below; the first
+          // window's barrier releases the lead's acquired edge waits.
+          TeamBarrier& tb = team_bar[static_cast<std::size_t>(tid)];
+          wave::mwd_walk_tile(plan, tile, member, m,
+                              [&] { team_cross(tb); }, fn);
         } else {
           // All members run the identical slab enumeration, so their
           // barrier counts always match (empty shares still arrive). The
@@ -175,14 +198,12 @@ void execute_plan(const TilePlan& plan, const RunOptions& opt,
           // the members.
           TeamBarrier& tb = team_bar[static_cast<std::size_t>(tid)];
           for_each_slab(plan, tile, [&](const Slab& sl) {
-            tb.arrive_and_wait();
-            ++local_barriers;
+            team_cross(tb);
             Slab part;
             if (detail::member_slab(sl, member, m, part)) fn(part);
           });
           detail::finish_tile(fn);  // members fence own NT stores first
-          tb.arrive_and_wait();     // every member done before the publish
-          ++local_barriers;
+          team_cross(tb);           // every member done before the publish
         }
         if (member == 0) {
           if (tile.publishes_progress) {
@@ -214,12 +235,20 @@ void execute_plan(const TilePlan& plan, const RunOptions& opt,
       }
     }
     if (stats) {
+      // Team-barrier stalls count in BOTH the wait_* aggregates and the
+      // team_wait_* breakdown (core/stats.hpp).
+      const std::int64_t ev = local_events + tw_events;
+      const std::int64_t sp = local_spins + tw_spins;
+      const std::int64_t ns = local_ns + tw_ns;
       // order: relaxed — independent counters, aggregated once per worker.
-      stats->wait_events.fetch_add(local_events, std::memory_order_relaxed);
-      stats->wait_spins.fetch_add(local_spins, std::memory_order_relaxed);
-      stats->wait_ns.fetch_add(local_ns, std::memory_order_relaxed);
+      stats->wait_events.fetch_add(ev, std::memory_order_relaxed);
+      stats->wait_spins.fetch_add(sp, std::memory_order_relaxed);
+      stats->wait_ns.fetch_add(ns, std::memory_order_relaxed);
       stats->tiles_processed.fetch_add(local_tiles, std::memory_order_relaxed);
       stats->barriers.fetch_add(local_barriers, std::memory_order_relaxed);
+      stats->team_wait_events.fetch_add(tw_events, std::memory_order_relaxed);
+      stats->team_wait_spins.fetch_add(tw_spins, std::memory_order_relaxed);
+      stats->team_wait_ns.fetch_add(tw_ns, std::memory_order_relaxed);
     }
   });
 }

@@ -33,6 +33,7 @@ RunOptions job_run_options(const JobRequest& rq, const ExecEnv& env) {
   opt.scheme = rq.scheme;
   opt.nt_stores = rq.nt_stores;
   opt.unroll_t = rq.unroll_t;
+  opt.mwd_group = rq.mwd_group;
   opt.cache_tenants = env.cache_tenants;
   if (env.pin_cpus != nullptr && !env.pin_cpus->empty())
     opt.pin_cpus = env.pin_cpus;
@@ -113,6 +114,7 @@ double model_bytes_for(const SchemeChoice& choice, std::int64_t n,
       break;
     case Scheme::Cats2:
     case Scheme::Cats3:
+    case Scheme::Mwd:  // choice.bz is already sized at the pooled budget Z*g
       bytes = cats2_traffic_bytes(in, std::max<std::int64_t>(choice.bz, 2));
       break;
     case Scheme::Naive:

@@ -28,6 +28,7 @@
 
 #include <atomic>
 
+#include "threads/progress.hpp"  // WaitResult
 #include "threads/sync_shim.hpp"
 
 namespace cats {
@@ -72,8 +73,13 @@ class BasicTeamBarrier {
 
   int participants() const noexcept { return n_; }
 
-  void arrive_and_wait() {
-    if (n_ <= 1) return;  // degenerate team: program order suffices
+  /// Returns the idle-spin cost of this crossing (spins/ns both 0 for the
+  /// last arriver and for uncontended waits), structured like
+  /// detail::basic_adaptive_wait: the clock starts only after the first
+  /// failed sense check, so a member that never waits never touches it.
+  WaitResult arrive_and_wait() {
+    WaitResult r;
+    if (n_ <= 1) return r;  // degenerate team: program order suffices
     SyncObserver* const obs = Shim::observer();
     if (obs) obs->on_barrier_arrive(this);
     const bool my_sense = !sense_.load(O::sense_peek());
@@ -81,17 +87,22 @@ class BasicTeamBarrier {
       count_.store(0, O::count_reset());
       sense_.store(my_sense, O::sense_publish());
       if (obs) obs->on_barrier_leave(this);
-      return;
+      return r;
     }
-    int spins = 0, exponent = 0;
-    while (sense_.load(O::sense_wait()) != my_sense) {
-      if (++spins > kSpinLimit) {
-        Shim::yield();
-      } else {
-        Shim::pause(exponent);
-      }
+    if (sense_.load(O::sense_wait()) != my_sense) {
+      const std::int64_t start = Shim::now_ns();
+      int exponent = 0;
+      do {
+        if (++r.spins > kSpinLimit) {
+          Shim::yield();
+        } else {
+          Shim::pause(exponent);
+        }
+      } while (sense_.load(O::sense_wait()) != my_sense);
+      r.ns = Shim::now_ns() - start;
     }
     if (obs) obs->on_barrier_leave(this);
+    return r;
   }
 
  private:

@@ -83,6 +83,7 @@ bool TuneDb::load(const std::string& path) {
     r.entry.unroll_t = static_cast<int>(e.get_int("unroll_t", -1));
     r.entry.temporal_vec = static_cast<int>(e.get_int("temporal_vec", -1));
     r.entry.team_size = static_cast<int>(e.get_int("team_size", 0));
+    r.entry.mwd_group = static_cast<int>(e.get_int("mwd_group", 0));
     r.entry.prefetch_dist = static_cast<int>(e.get_int("prefetch_dist", -1));
     r.entry.pilot_seconds = e.get_number("pilot_seconds");
     r.entry.analytic_seconds = e.get_number("analytic_seconds");
@@ -120,6 +121,7 @@ bool TuneDb::save(const std::string& path) const {
        << "\"unroll_t\": " << r.entry.unroll_t << ", "
        << "\"temporal_vec\": " << r.entry.temporal_vec << ", "
        << "\"team_size\": " << r.entry.team_size << ", "
+       << "\"mwd_group\": " << r.entry.mwd_group << ", "
        << "\"prefetch_dist\": " << r.entry.prefetch_dist << ", "
        << "\"pilot_seconds\": " << json_number(r.entry.pilot_seconds) << ", "
        << "\"analytic_seconds\": " << json_number(r.entry.analytic_seconds) << ", "

@@ -34,7 +34,7 @@ struct DbKey {
 
 /// One tuned configuration (the winner of a neighborhood search).
 struct DbEntry {
-  std::string scheme;      ///< "Naive" | "CATS1" | "CATS2" | "CATS3"
+  std::string scheme;      ///< "Naive" | "CATS1" | "CATS2" | "CATS3" | "MWD"
   int tz = 0;
   std::int64_t bz = 0;
   std::int64_t bx = 0;
@@ -46,6 +46,7 @@ struct DbEntry {
   int unroll_t = -1;       ///< -1 keep; else RunOptions::unroll_t
   int temporal_vec = -1;   ///< -1 keep; 0 off; 1 on (RunOptions::temporal_vec)
   int team_size = 0;       ///< 0 keep; else RunOptions::team_size
+  int mwd_group = 0;       ///< 0 keep; else RunOptions::mwd_group
   int prefetch_dist = -1;  ///< -1 keep; else RunOptions::prefetch_dist
   double pilot_seconds = 0.0;     ///< best pilot time
   double analytic_seconds = 0.0;  ///< analytic-seed pilot time (for the record)

@@ -17,7 +17,7 @@ void push_unique(std::vector<Candidate>& out, const Candidate& c) {
         e.bx == c.bx && e.affinity == c.affinity &&
         e.nt_stores == c.nt_stores && e.unroll_t == c.unroll_t &&
         e.temporal_vec == c.temporal_vec && e.team_size == c.team_size &&
-        e.prefetch_dist == c.prefetch_dist)
+        e.mwd_group == c.mwd_group && e.prefetch_dist == c.prefetch_dist)
       return;
   }
   out.push_back(c);
@@ -103,6 +103,7 @@ RunOptions options_for_candidate(const RunOptions& base, const Candidate& c) {
   if (c.unroll_t >= 0) o.unroll_t = c.unroll_t;
   if (c.temporal_vec >= 0) o.temporal_vec = c.temporal_vec != 0;
   if (c.team_size > 0) o.team_size = c.team_size;
+  if (c.mwd_group > 0) o.mwd_group = c.mwd_group;
   if (c.prefetch_dist >= 0) o.prefetch_dist = c.prefetch_dist;
   return o;
 }
@@ -113,6 +114,7 @@ const char* candidate_scheme_name(const Candidate& c) {
     case Scheme::Cats1: return "CATS1";
     case Scheme::Cats2: return "CATS2";
     case Scheme::Cats3: return "CATS3";
+    case Scheme::Mwd: return "MWD";
     default: return "?";
   }
 }

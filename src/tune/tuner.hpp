@@ -33,7 +33,7 @@ struct TuneConfig {
   bool tune_affinity = true;     ///< re-time the winner under each pin policy
   bool tune_wave = true;         ///< re-time the winner along the wave axes
                                  ///< (nt_stores / unroll_t / team_size /
-                                 ///< prefetch_dist, src/wave)
+                                 ///< mwd_group / prefetch_dist, src/wave)
 };
 
 /// One point of the search grid. `threads` 0 = the caller's thread count;
@@ -51,6 +51,7 @@ struct Candidate {
   int unroll_t = -1;       ///< -1 caller's; else RunOptions::unroll_t
   int temporal_vec = -1;   ///< -1 caller's; 0 off; 1 on
   int team_size = 0;       ///< 0 caller's; else RunOptions::team_size
+  int mwd_group = 0;       ///< 0 caller's; else RunOptions::mwd_group
   int prefetch_dist = -1;  ///< -1 caller's; else RunOptions::prefetch_dist
 };
 
@@ -206,6 +207,23 @@ TuneResult search(MakeKernel&& make, int T, const RunOptions& base,
           probe(c);
         }
       }
+      // MWD group-width axis: pooling g threads on one diamond trades tube
+      // parallelism for sqrt(g) wider diamonds (core/mwd.hpp). Only widths
+      // that tile the worker pool are legal (mwd_group_width), and the knob
+      // only matters when the candidate runs Scheme::Mwd — so probe it on
+      // an explicit MWD switch of the winner.
+      if (d.dims >= 2 && opt.threads > 1) {
+        for (int gw : {2, 4}) {
+          if (gw > opt.threads || opt.threads % gw != 0) continue;
+          Candidate c = res.best;
+          c.scheme = Scheme::Mwd;
+          c.tz = 0;
+          c.bx = 0;
+          c.bz = 0;  // re-derive via Eq. 2 at the pooled budget Z*gw
+          c.mwd_group = gw;
+          probe(c);
+        }
+      }
       for (int pf : {0, 8}) {
         if (pf == base.prefetch_dist) continue;
         Candidate c = res.best;
@@ -234,6 +252,7 @@ TuneResult search(MakeKernel&& make, int T, const RunOptions& base,
   res.entry.unroll_t = res.best.unroll_t;
   res.entry.temporal_vec = res.best.temporal_vec;
   res.entry.team_size = res.best.team_size;
+  res.entry.mwd_group = res.best.mwd_group;
   res.entry.prefetch_dist = res.best.prefetch_dist;
   res.entry.pilot_seconds = res.best_seconds;
   res.entry.analytic_seconds = res.analytic_seconds;

@@ -57,10 +57,16 @@ inline int clamp_unroll(int u) {
 
 /// Shared gate for both walkers: fusion needs no oracle attached, no
 /// explicit off switch, and a one-member team (members see y-partial slabs
-/// whose chain links would not cover the stagger proof's full rows).
+/// whose chain links would not cover the stagger proof's full rows). MWD
+/// groups are exempt from the team-width bail: members receive *full-width*
+/// wavefront slabs (whole chain links, wave/mwd.hpp), so the stagger proof
+/// applies unchanged.
 inline int resolve_unroll(const plan_ir::TilePlan& p, const RunOptions& opt) {
   if (opt.oracle != nullptr || opt.unroll_t == 1) return 1;
-  if (wave_team_width(p.dims, p.scheme, opt) != 1) return 1;
+  if (p.scheme != Scheme::Mwd &&
+      wave_team_width(p.dims, p.scheme, opt) != 1) {
+    return 1;
+  }
   return clamp_unroll(opt.unroll_t == 0 ? kMaxUnroll : opt.unroll_t);
 }
 

@@ -1,24 +1,30 @@
 #!/usr/bin/env python3
-"""Compare two bench_suite reports (BENCH_7.json) and fail on perf regression.
+"""Compare two bench_suite reports (BENCH_10.json) and fail on perf regression.
 
 Usage: bench_compare.py BASELINE.json NEW.json [--tolerance 0.15]
 
-Both files are `bench_suite --json` outputs: one table of
-(kernel, config, secs, MLUP/s, model B/pt, scheme) rows at a pinned size.
+Each file is either one `bench_suite --json` output or a JSON *array* of
+several (one per thread count — CI runs the suite at THREADS=1 and
+THREADS=2 and merges the reports). Every report carries one table of
+(kernel, config, secs, MLUP/s, model B/pt, scheme) rows at a pinned size,
+plus a "threads" context entry keying its comparison group.
 
 Raw MLUP/s is not comparable across machines (or across CI runners), so each
-row is first normalized by the same file's naive row for that kernel —
+row is first normalized by the same report's naive row for that kernel —
 "CATS2+wave is 2.1x naive" is a property of the code, not the machine. Rows
-are grouped per precision (the kernel name's `_f32` suffix): every fp32
-family carries its own naive/plain anchors, so a normalized fp32 ratio never
-mixes precisions, and the cross-precision fp32/fp64 speedup is reported
-separately per config (informational — raw-throughput ratios are noisier
-than normalized ones, so they do not gate). A row regresses when its
-normalized throughput drops more than --tolerance (15% default) below the
-baseline. The model B/pt column is compared exactly (tolerance 1%): the
-analytic traffic model is deterministic, so any drift there is a real
-accounting change, not noise — in particular the fp32 rows must model
-element size E=4, half the fp64 bytes per point.
+are grouped per precision (the kernel name's `_f32` suffix) AND per thread
+count: every fp32 family carries its own naive/plain anchors, and a
+multi-thread row only ever normalizes against the naive row measured at the
+same thread count (thread scaling is part of what the suite tracks, e.g.
+MWD's shared-diamond groups only exist at THREADS>=2). The cross-precision
+fp32/fp64 speedup is reported separately per config (informational —
+raw-throughput ratios are noisier than normalized ones, so they do not
+gate). A row regresses when its normalized throughput drops more than
+--tolerance (15% default) below the baseline. The model B/pt column is
+compared exactly (tolerance 1%): the analytic traffic model is
+deterministic, so any drift there is a real accounting change, not noise —
+in particular the fp32 rows must model element size E=4, half the fp64
+bytes per point.
 
 Exit status: 0 clean, 1 regression(s), 2 malformed input.
 """
@@ -28,15 +34,11 @@ import json
 import sys
 
 
-def load_rows(path):
-    """-> {(kernel, config): (mlups, model_bpp)}"""
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
-    for table in doc.get("tables", []):
+def table_rows(report, path, rows):
+    """Merge one report object's bench table into rows keyed by
+    (kernel, config, threads)."""
+    threads = int(report.get("context", {}).get("threads", 1))
+    for table in report.get("tables", []):
         headers = table.get("headers", [])
         if "MLUP/s" not in headers or "config" not in headers:
             continue
@@ -44,13 +46,25 @@ def load_rows(path):
         ic = headers.index("config")
         im = headers.index("MLUP/s")
         ib = headers.index("model B/pt")
-        rows = {}
         for r in table.get("rows", []):
-            rows[(r[ik], r[ic])] = (float(r[im]), float(r[ib]))
-        if rows:
-            return rows
-    print(f"bench_compare: no bench_suite table in {path}", file=sys.stderr)
-    sys.exit(2)
+            rows[(r[ik], r[ic], threads)] = (float(r[im]), float(r[ib]))
+
+
+def load_rows(path):
+    """-> {(kernel, config, threads): (mlups, model_bpp)}"""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for report in doc if isinstance(doc, list) else [doc]:
+        table_rows(report, path, rows)
+    if not rows:
+        print(f"bench_compare: no bench_suite table in {path}", file=sys.stderr)
+        sys.exit(2)
+    return rows
 
 
 def precision_of(kernel):
@@ -58,22 +72,26 @@ def precision_of(kernel):
 
 
 def normalized(rows):
-    """MLUP/s of each row divided by its kernel's naive row (1.0 if absent).
+    """MLUP/s of each row divided by its kernel's naive row at the same
+    thread count (1.0 if absent).
 
     The naive anchor is always the same kernel — hence the same precision —
-    so normalized ratios stay within one precision group by construction.
+    and the same thread count, so normalized ratios never mix precisions or
+    parallelism levels.
     """
     out = {}
-    for (kernel, config), (mlups, bpp) in rows.items():
-        naive = rows.get((kernel, "naive"), (0.0, 0.0))[0]
-        out[(kernel, config)] = (mlups / naive if naive > 0 else 0.0, bpp)
+    for (kernel, config, threads), (mlups, bpp) in rows.items():
+        naive = rows.get((kernel, "naive", threads), (0.0, 0.0))[0]
+        out[(kernel, config, threads)] = (
+            mlups / naive if naive > 0 else 0.0, bpp)
     return out
 
 
 def compare_group(base, new, keys, tolerance, failures):
     for key in sorted(keys):
         if key not in new:
-            failures.append(f"{key[0]}/{key[1]}: row missing from new report")
+            failures.append(
+                f"{key[0]}/{key[1]}@t{key[2]}: row missing from new report")
             continue
         b_rel, b_bpp = base[key]
         n_rel, n_bpp = new[key]
@@ -81,26 +99,27 @@ def compare_group(base, new, keys, tolerance, failures):
         flag = ""
         if b_rel > 0 and n_rel < b_rel * (1.0 - tolerance):
             failures.append(
-                f"{key[0]}/{key[1]}: normalized MLUP/s {n_rel:.3f} < "
-                f"{b_rel:.3f} - {tolerance:.0%}")
+                f"{key[0]}/{key[1]}@t{key[2]}: normalized MLUP/s "
+                f"{n_rel:.3f} < {b_rel:.3f} - {tolerance:.0%}")
             flag = "  << REGRESSION"
         if b_bpp > 0 and abs(n_bpp - b_bpp) / b_bpp > 0.01:
             failures.append(
-                f"{key[0]}/{key[1]}: model B/pt changed {b_bpp} -> {n_bpp}")
+                f"{key[0]}/{key[1]}@t{key[2]}: model B/pt changed "
+                f"{b_bpp} -> {n_bpp}")
             flag = "  << MODEL CHANGE"
         print(f"{key[0]:<12} {key[1]:<12} {b_rel:>10.3f} {n_rel:>10.3f} "
               f"{delta:>+7.1%}  {n_bpp:>6.2f}{flag}")
 
 
 def print_precision_ratios(raw, label):
-    """fp32/fp64 raw-throughput ratio per (base kernel, config) pair."""
-    pairs = sorted({(k[:-4], c) for (k, c) in raw if k.endswith("_f32")})
+    """fp32/fp64 raw-throughput ratio per (base kernel, config, threads)."""
+    pairs = sorted({(k[:-4], c, t) for (k, c, t) in raw if k.endswith("_f32")})
     lines = []
-    for kernel, config in pairs:
-        f32 = raw.get((kernel + "_f32", config), (0.0, 0.0))[0]
-        f64 = raw.get((kernel, config), (0.0, 0.0))[0]
+    for kernel, config, threads in pairs:
+        f32 = raw.get((kernel + "_f32", config, threads), (0.0, 0.0))[0]
+        f64 = raw.get((kernel, config, threads), (0.0, 0.0))[0]
         if f32 > 0 and f64 > 0:
-            lines.append(f"  {kernel}/{config}: {f32 / f64:.2f}x")
+            lines.append(f"  {kernel}/{config}@t{threads}: {f32 / f64:.2f}x")
     if lines:
         print(f"\nfp32/fp64 raw speedup ({label}, informational):")
         for line in lines:
@@ -123,14 +142,17 @@ def main():
     failures = []
     header = (f"{'kernel':<12} {'config':<12} {'base(rel)':>10} "
               f"{'new(rel)':>10} {'delta':>8}  {'B/pt':>6}")
-    for precision in ("fp64", "fp32"):
-        keys = [k for k in base if precision_of(k[0]) == precision]
-        if not keys:
-            continue
-        print(f"-- {precision} --")
-        print(header)
-        compare_group(base, new, keys, args.tolerance, failures)
-        print()
+    thread_counts = sorted({k[2] for k in base})
+    for threads in thread_counts:
+        for precision in ("fp64", "fp32"):
+            keys = [k for k in base
+                    if precision_of(k[0]) == precision and k[2] == threads]
+            if not keys:
+                continue
+            print(f"-- {precision} @ {threads} thread(s) --")
+            print(header)
+            compare_group(base, new, keys, args.tolerance, failures)
+            print()
 
     print_precision_ratios(new_raw, "new")
 
